@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the physical operators.
+
+Not a paper artifact, but the foundation the tables stand on: index
+scan throughput, Stack-Tree-Desc vs. Stack-Tree-Anc vs. the quadratic
+nested-loop baseline, and sort cost.  pytest-benchmark gives stable
+per-operator timings here.
+"""
+
+import pytest
+
+from repro.core.pattern import Axis, PatternNode
+from repro.engine.context import EngineContext
+from repro.engine.nestedloop import NestedLoopJoin
+from repro.engine.scan import IndexScan
+from repro.engine.sort import SortOperator
+from repro.engine.stackjoin import StackTreeAncJoin, StackTreeDescJoin
+
+
+def engine(database):
+    return EngineContext(database.index, database.store,
+                         database.document)
+
+
+def drain(operator):
+    return sum(1 for _ in operator.run())
+
+
+class TestScans:
+    def test_index_scan(self, benchmark, pers_db):
+        def scan():
+            return drain(IndexScan(PatternNode(0, "employee"),
+                                   engine(pers_db)))
+
+        count = benchmark(scan)
+        assert count == pers_db.document.tag_count("employee")
+
+    def test_wildcard_scan(self, benchmark, pers_db):
+        def scan():
+            return drain(IndexScan(PatternNode(0, "*"), engine(pers_db)))
+
+        count = benchmark(scan)
+        assert count == len(pers_db.document)
+
+    def test_predicate_scan(self, benchmark, mbench_db):
+        from repro.core.pattern import Predicate
+
+        node = PatternNode(0, "eNest", (
+            Predicate(kind="attribute", op="=", value="1",
+                      name="aFour"),))
+
+        def scan():
+            return drain(IndexScan(node, engine(mbench_db)))
+
+        count = benchmark(scan)
+        assert 0 < count < mbench_db.document.tag_count("eNest")
+
+
+class TestJoins:
+    @pytest.mark.parametrize("join_class,label", [
+        (StackTreeDescJoin, "stack-tree-desc"),
+        (StackTreeAncJoin, "stack-tree-anc"),
+        (NestedLoopJoin, "nested-loop"),
+    ])
+    def test_manager_employee_join(self, benchmark, pers_db, join_class,
+                                   label):
+        def run():
+            ctx = engine(pers_db)
+            join = join_class(
+                IndexScan(PatternNode(0, "manager"), ctx),
+                IndexScan(PatternNode(1, "employee"), ctx),
+                0, 1, Axis.DESCENDANT)
+            return drain(join)
+
+        count = benchmark(run)
+        assert count > 0
+        benchmark.extra_info["output_tuples"] = count
+
+    def test_self_join_enest(self, benchmark, mbench_db):
+        def run():
+            ctx = engine(mbench_db)
+            join = StackTreeDescJoin(
+                IndexScan(PatternNode(0, "eNest"), ctx),
+                IndexScan(PatternNode(1, "eNest"), ctx),
+                0, 1, Axis.DESCENDANT)
+            return drain(join)
+
+        count = benchmark(run)
+        benchmark.extra_info["output_tuples"] = count
+
+
+class TestSort:
+    def test_sort_join_output(self, benchmark, pers_db):
+        def run():
+            ctx = engine(pers_db)
+            join = StackTreeDescJoin(
+                IndexScan(PatternNode(0, "manager"), ctx),
+                IndexScan(PatternNode(1, "employee"), ctx),
+                0, 1, Axis.DESCENDANT)
+            return drain(SortOperator(join, 0))
+
+        count = benchmark(run)
+        assert count > 0

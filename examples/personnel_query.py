@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The paper's running example (Fig. 1 / Example 2.2), end to end.
+
+"For each manager A, list the names of the employees supervised by A,
+and the name of any department that is directly supervised by another
+manager who is a subordinate of A."
+
+This script generates a Pers-like personnel hierarchy, builds the
+6-node pattern of Fig. 1, runs all five optimization algorithms plus
+the worst-of-30 random plan, and compares what they chose and what it
+cost.
+
+Run:  python examples/personnel_query.py [node_count]
+"""
+
+import sys
+
+from repro import Database, QueryPattern
+from repro.workloads import personnel_document
+
+ALGORITHMS = ("DP", "DPP", "DPP'", "DPAP-EB", "DPAP-LD", "FP")
+
+
+def build_pattern() -> QueryPattern:
+    """Fig. 1: manager//employee/name + manager//manager/department/name."""
+    return QueryPattern.build({
+        "nodes": ["manager", "employee", "name", "manager",
+                  "department", "name"],
+        "edges": [(0, 1, "//"), (1, 2, "/"), (0, 3, "//"),
+                  (3, 4, "/"), (4, 5, "/")],
+    })
+
+
+def main() -> None:
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    document = personnel_document(target_nodes=nodes)
+    database = Database.from_document(document)
+    pattern = build_pattern()
+    database.warm_statistics(pattern)
+
+    print(f"Data: {len(document)} nodes, depth {document.depth()}, "
+          f"{document.tag_count('manager')} managers")
+    print("Pattern:")
+    print(pattern.describe())
+    print()
+
+    header = (f"{'algorithm':9s} {'opt ms':>8s} {'est cost':>12s} "
+              f"{'eval sim':>12s} {'matches':>8s} {'plans':>6s}  shape")
+    print(header)
+    print("-" * len(header))
+
+    for algorithm in ALGORITHMS:
+        optimization = database.optimize(pattern, algorithm=algorithm)
+        execution = database.execute(optimization.plan, pattern)
+        shape = ("pipelined" if optimization.plan.is_fully_pipelined
+                 else f"{optimization.plan.sort_count()} sort(s)")
+        shape += ", left-deep" if optimization.plan.is_left_deep \
+            else ", bushy"
+        print(f"{algorithm:9s} "
+              f"{optimization.report.optimization_seconds * 1e3:8.2f} "
+              f"{optimization.estimated_cost:12,.0f} "
+              f"{execution.metrics.simulated_cost():12,.0f} "
+              f"{len(execution):8d} "
+              f"{optimization.report.alternatives_considered:6d}  "
+              f"{shape}")
+
+    bad_plan, bad_estimate = database.bad_plan(pattern, samples=30)
+    bad_execution = database.execute(bad_plan, pattern)
+    print(f"{'bad':9s} {'-':>8s} {bad_estimate:12,.0f} "
+          f"{bad_execution.metrics.simulated_cost():12,.0f} "
+          f"{len(bad_execution):8d} {'30':>6s}  worst random")
+
+    print("\nOptimal plan (DPP):")
+    print(database.optimize(pattern, algorithm="DPP").explain())
+
+
+if __name__ == "__main__":
+    main()

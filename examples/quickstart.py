@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: load XML, ask an XPath question, inspect the plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+XML = """
+<library>
+  <shelf floor="1">
+    <book year="1999"><title>Structural Joins</title>
+      <author>Ada</author></book>
+    <book year="2003"><title>Join Ordering</title>
+      <author>Bob</author><author>Carol</author></book>
+  </shelf>
+  <shelf floor="2">
+    <book year="2001"><title>Tree Patterns</title>
+      <author>Ada</author></book>
+  </shelf>
+</library>
+"""
+
+
+def main() -> None:
+    database = Database.from_xml(XML, name="library")
+    print("Loaded:", database.statistics())
+
+    # XPath compiles to a tree pattern; DPP picks the join order.
+    query = "//shelf/book[@year >= '2000']/title"
+    result = database.query(query, algorithm="DPP")
+
+    print(f"\nQuery: {query}")
+    print(f"Matches: {len(result)}")
+    for binding in result.execution.bindings():
+        title_region = binding[max(binding)]  # the title step
+        node = database.document.node(title_region.start)
+        print(f"  - {node.text}")
+
+    print("\nChosen plan:")
+    print(result.explain())
+
+    print("\nOptimizer work:", result.optimization.report.summary())
+    print("Engine work:   ", result.execution.metrics.summary())
+
+
+if __name__ == "__main__":
+    main()

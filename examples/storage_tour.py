@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Tour of the storage substrate: pages, buffer pool, persistence.
+
+Builds a file-backed database, shows where the bytes go (element-store
+pages vs tag-index pages), demonstrates buffer-pool behaviour under a
+query, and re-opens the page file to prove the data survived.
+
+Run:  python examples/storage_tour.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Database
+from repro.storage import FileDisk
+from repro.workloads import personnel_document
+
+
+def main() -> None:
+    document = personnel_document(target_nodes=6000)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "pers.pages"
+
+        with FileDisk(path) as disk:
+            # a pool smaller than the database forces real evictions
+            database = Database(disk=disk, buffer_capacity=8)
+            database.load(document)
+            stats = database.statistics()
+            print("After load:")
+            for key, value in stats.items():
+                print(f"  {key:16s} {value}")
+            print(f"  file size        {path.stat().st_size:,} bytes")
+
+            # run a query through a deliberately small buffer pool
+            result = database.query("//manager//employee/name")
+            metrics = result.execution.metrics
+            pool = database.pool
+            print(f"\nQuery returned {len(result)} matches")
+            print(f"  page reads       {metrics.page_reads}")
+            print(f"  buffer hits      {metrics.buffer_hits}")
+            print(f"  buffer misses    {metrics.buffer_misses}")
+            print(f"  hit rate         {pool.stats.hit_rate:.1%}")
+            print(f"  index postings   {metrics.index_items}")
+            matches_before = result.execution.canonical()
+            database.persist()  # catalog written to page 0
+
+        # re-open the database from its pages alone — no XML source
+        with FileDisk(path) as disk:
+            reopened = Database.open(disk, buffer_capacity=32)
+            print(f"\nRe-opened {path.name}: "
+                  f"{len(reopened.document)} nodes, "
+                  f"{disk.page_count} pages")
+            again = reopened.query("//manager//employee/name")
+            assert again.execution.canonical() == matches_before
+            print(f"  same {len(again)} matches from the reopened "
+                  f"database")
+
+
+if __name__ == "__main__":
+    main()

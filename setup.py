@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that offline
+environments without the ``wheel`` package can still do editable
+installs (``pip install -e .`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

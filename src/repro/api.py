@@ -1,0 +1,328 @@
+"""Public facade: a small native XML database.
+
+:class:`Database` wires the substrates together the way Timber does —
+storage manager, buffer pool, element store, tag index, statistics —
+and exposes the three operations a user of this library needs:
+
+* :meth:`Database.load` / :meth:`Database.from_xml` — ingest a document
+* :meth:`Database.optimize` — run one of the five paper algorithms on a
+  pattern (or an XPath string)
+* :meth:`Database.execute` / :meth:`Database.query` — run a plan and
+  return matches with full execution metrics
+
+Example::
+
+    from repro import Database
+
+    db = Database.from_xml(open("pers.xml").read())
+    result = db.query("//manager[.//employee/name]//department/name")
+    for binding in result.execution.bindings():
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.core.cost import CostFactors, CostModel
+from repro.core.optimizer import OptimizationResult, get_optimizer
+from repro.core.pattern import QueryPattern
+from repro.core.plans import PhysicalPlan
+from repro.core.random_plans import worst_random_plan
+from repro.document.document import XmlDocument
+from repro.document.parser import parse_xml
+from repro.engine.context import EngineContext
+from repro.engine.executor import ExecutionResult, Executor
+from repro.estimation.estimator import (CardinalityEstimator,
+                                        ExactEstimator,
+                                        PositionalEstimator)
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager, InMemoryDisk
+from repro.storage.store import ElementStore
+from repro.storage.tagindex import TagIndex
+from repro.xpath.parser import compile_xpath
+
+
+@dataclass
+class QueryResult:
+    """Bundle returned by :meth:`Database.query`."""
+
+    optimization: OptimizationResult
+    execution: ExecutionResult
+
+    def __len__(self) -> int:
+        return len(self.execution)
+
+    @property
+    def plan(self) -> PhysicalPlan:
+        return self.optimization.plan
+
+    def explain(self) -> str:
+        return self.optimization.explain()
+
+
+class Database:
+    """A single-document native XML database instance."""
+
+    def __init__(self, name: str = "db",
+                 disk: DiskManager | None = None,
+                 buffer_capacity: int = 256,
+                 cost_factors: CostFactors | None = None,
+                 histogram_grid: int = 16) -> None:
+        self.name = name
+        self.disk = disk or InMemoryDisk()
+        self.pool = BufferPool(self.disk, capacity=buffer_capacity)
+        if self.disk.page_count == 0:
+            # page 0 anchors the catalog so the database can be
+            # reopened from its pages alone (see Database.open)
+            from repro.storage.catalog import reserve_catalog_page
+
+            reserve_catalog_page(self.pool)
+        self.store = ElementStore(self.pool)
+        self.index = TagIndex(self.pool)
+        self.cost_factors = cost_factors or CostFactors()
+        self.cost_model = CostModel(self.cost_factors)
+        self.histogram_grid = histogram_grid
+        self.document: XmlDocument | None = None
+        self._estimator: PositionalEstimator | None = None
+        self._exact_estimator: ExactEstimator | None = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text: str, name: str = "db",
+                 **kwargs: object) -> "Database":
+        """Parse XML text and load it into a fresh database."""
+        database = cls(name=name, **kwargs)  # type: ignore[arg-type]
+        database.load(parse_xml(text, name=name))
+        return database
+
+    @classmethod
+    def from_document(cls, document: XmlDocument,
+                      **kwargs: object) -> "Database":
+        """Load an already-built document into a fresh database."""
+        database = cls(name=document.name, **kwargs)  # type: ignore[arg-type]
+        database.load(document)
+        return database
+
+    def load(self, document: XmlDocument) -> None:
+        """Ingest *document*: store records, build the tag index and
+        the positional-histogram statistics."""
+        if self.document is not None:
+            raise ReproError(
+                "database already holds a document; create a new "
+                "Database to load different data")
+        self.store.store_document(document)
+        self.index.index_document(document)
+        self.document = document
+        if self.name == "db":  # adopt the document's name by default
+            self.name = document.name
+        self._estimator = PositionalEstimator.from_document(
+            document, grid=self.histogram_grid)
+        self._exact_estimator = None
+
+    def _require_document(self) -> XmlDocument:
+        if self.document is None:
+            raise ReproError("no document loaded")
+        return self.document
+
+    # -- persistence -----------------------------------------------------------
+
+    def persist(self) -> None:
+        """Flush all pages and write the catalog, making the disk
+        self-describing: :meth:`Database.open` can rebuild this
+        database from the disk alone."""
+        from repro.storage.catalog import write_catalog
+
+        self._require_document()
+        payload = {
+            "name": self.name,
+            "store_pages": self.store.page_ids,
+            "index_chains": self.index.chains(),
+            "index_counts": self.index.counts(),
+            "node_count": self.store.node_count,
+        }
+        write_catalog(self.pool, payload)
+
+    @classmethod
+    def open(cls, disk: DiskManager, **kwargs: object) -> "Database":
+        """Reopen a persisted database from its pages.
+
+        The catalog on page 0 locates the element-store chain and the
+        tag-index chains; the node table and statistics are rebuilt
+        with one scan — no XML source required.
+        """
+        from repro.storage.catalog import read_catalog
+
+        database = cls(disk=disk, **kwargs)  # type: ignore[arg-type]
+        payload = read_catalog(database.pool)
+        database.name = payload["name"]
+        database.store = ElementStore.attach(
+            database.pool, payload["store_pages"])
+        database.index = TagIndex.attach(
+            database.pool,
+            payload["index_chains"], payload["index_counts"])
+        nodes = list(database.store.scan())
+        if len(nodes) != payload["node_count"]:
+            raise ReproError(
+                f"catalog expected {payload['node_count']} nodes, "
+                f"store holds {len(nodes)}")
+        database.document = XmlDocument(nodes, name=database.name)
+        database._estimator = PositionalEstimator.from_document(
+            database.document, grid=database.histogram_grid)
+        return database
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        """The positional-histogram estimator (paper configuration)."""
+        self._require_document()
+        assert self._estimator is not None
+        return self._estimator
+
+    @property
+    def exact_estimator(self) -> ExactEstimator:
+        """Ground-truth estimator (built lazily; used for calibration)."""
+        document = self._require_document()
+        if self._exact_estimator is None:
+            self._exact_estimator = ExactEstimator(document)
+        return self._exact_estimator
+
+    # -- optimization & execution -----------------------------------------------
+
+    def compile(self, query: str | QueryPattern) -> QueryPattern:
+        """Accept an XPath string or an already-built pattern."""
+        if isinstance(query, QueryPattern):
+            return query
+        return compile_xpath(query)
+
+    def warm_statistics(self, query: str | QueryPattern) -> None:
+        """Precompute the statistics a pattern's optimization needs.
+
+        Pairwise histogram estimates are memoized inside the estimator;
+        benchmark harnesses call this before timing optimizers so that
+        whichever algorithm runs first is not charged the one-time
+        statistics derivation.
+        """
+        pattern = self.compile(query)
+        estimator = self.estimator
+        for node in pattern.nodes:
+            estimator.node_cardinality(node)
+        for edge in pattern.edges:
+            estimator.edge_cardinality(pattern, edge.parent, edge.child)
+
+    def optimize(self, query: str | QueryPattern,
+                 algorithm: str = "DPP",
+                 exact: bool = False,
+                 **options: object) -> OptimizationResult:
+        """Choose a plan with one of the five paper algorithms.
+
+        *algorithm* is a paper name: ``DP``, ``DPP``, ``DPP'``,
+        ``DPAP-EB``, ``DPAP-LD`` or ``FP``.  Extra options are passed
+        to the optimizer (e.g. ``expansion_bound`` for DPAP-EB).
+        With ``exact=True`` the optimizer sees ground-truth pairwise
+        cardinalities instead of histogram estimates.
+        """
+        pattern = self.compile(query)
+        optimizer = get_optimizer(algorithm, cost_model=self.cost_model,
+                                  **options)
+        estimator = self.exact_estimator if exact else self.estimator
+        return optimizer.optimize(pattern, estimator)
+
+    def execute(self, plan: PhysicalPlan,
+                pattern: QueryPattern) -> ExecutionResult:
+        """Run a physical plan against the stored document."""
+        self._require_document()
+        context = EngineContext(self.index, self.store, self.document,
+                                factors=self.cost_factors)
+        return Executor(context, pattern).execute(plan)
+
+    def query(self, query: str | QueryPattern,
+              algorithm: str = "DPP", **options: object) -> QueryResult:
+        """Optimize then execute in one call."""
+        pattern = self.compile(query)
+        optimization = self.optimize(pattern, algorithm=algorithm,
+                                     **options)
+        execution = self.execute(optimization.plan, pattern)
+        return QueryResult(optimization=optimization, execution=execution)
+
+    def time_to_first(self, query: str | QueryPattern,
+                      algorithm: str = "FP", results: int = 1,
+                      **options: object):
+        """Optimize, then measure latency to the first *results* tuples.
+
+        Fully-pipelined plans (``algorithm="FP"``) deliver initial
+        results without waiting for any sort to complete — the online-
+        querying scenario of Sec. 3.4.  Returns a
+        :class:`~repro.engine.executor.FirstResultTiming`.
+        """
+        pattern = self.compile(query)
+        optimization = self.optimize(pattern, algorithm=algorithm,
+                                     **options)
+        self._require_document()
+        context = EngineContext(self.index, self.store, self.document,
+                                factors=self.cost_factors)
+        return Executor(context, pattern).time_to_first(
+            optimization.plan, results=results)
+
+    def holistic_query(self,
+                       query: str | QueryPattern) -> ExecutionResult:
+        """Evaluate a pattern with one holistic twig join (TwigStack).
+
+        No join-order optimization is involved: the whole pattern is
+        matched by a single multi-way operator — the paper's
+        future-work comparison point (Sec. 6, reference [5]).
+        """
+        from repro.engine.twigstack import holistic_matches
+
+        pattern = self.compile(query)
+        self._require_document()
+        context = EngineContext(self.index, self.store, self.document,
+                                factors=self.cost_factors)
+        return holistic_matches(pattern, context)
+
+    def value_join(self, left_query: str | QueryPattern,
+                   right_query: str | QueryPattern,
+                   left_node: int, right_node: int,
+                   left_attribute: str = "", right_attribute: str = "",
+                   algorithm: str = "DPP"):
+        """Join two pattern queries on equal node values (Sec. 6).
+
+        Each side is optimized and executed as a structural-join plan;
+        the results are then hash-joined on the text (or *attribute*)
+        of the named pattern nodes.  Returns a
+        :class:`~repro.engine.valuejoin.ValueJoinResult`.
+        """
+        from repro.engine.valuejoin import ValueJoin
+
+        document = self._require_document()
+        left = self.query(left_query, algorithm=algorithm)
+        right = self.query(right_query, algorithm=algorithm)
+        join = ValueJoin(document, left_node, right_node,
+                         left_attribute=left_attribute,
+                         right_attribute=right_attribute)
+        return join.join(left.execution, right.execution)
+
+    def bad_plan(self, query: str | QueryPattern, samples: int = 30,
+                 seed: int = 0) -> tuple[PhysicalPlan, float]:
+        """The worst of *samples* random plans (Table 1's last column)."""
+        pattern = self.compile(query)
+        return worst_random_plan(pattern, self.estimator, samples=samples,
+                                 seed=seed, cost_model=self.cost_model)
+
+    # -- introspection ---------------------------------------------------------
+
+    def statistics(self) -> dict[str, object]:
+        """Storage and data statistics for diagnostics."""
+        document = self._require_document()
+        return {
+            "nodes": len(document),
+            "depth": document.depth(),
+            "tags": len(document.tags()),
+            "store_pages": self.store.page_count,
+            "index_pages": self.index.page_count(),
+            "disk_pages": self.disk.page_count,
+            "buffer_capacity": self.pool.capacity,
+        }

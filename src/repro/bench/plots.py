@@ -1,0 +1,54 @@
+"""ASCII charts for the figure artifacts.
+
+The paper's Figures 7 and 8 are stacked bar charts: per optimizer
+configuration, total query evaluation time split into an optimization
+component and a plan-execution component.  :func:`render_stacked_bars`
+renders exactly that with terminal-safe characters, so a benchmark run
+reproduces the *figure*, not just its underlying numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: fill characters per stacked component, in order
+_FILLS = ("#", "=", "+", ".")
+
+
+def render_stacked_bars(title: str, labels: Sequence[str],
+                        components: Sequence[tuple[str, Sequence[float]]],
+                        width: int = 60, unit: str = "") -> str:
+    """Horizontal stacked bar chart.
+
+    ``components`` is an ordered list of ``(name, values)`` with one
+    value per label; each bar stacks the components left to right,
+    scaled so the longest total bar spans *width* characters.
+    """
+    if not labels:
+        raise ValueError("chart needs at least one bar")
+    for name, values in components:
+        if len(values) != len(labels):
+            raise ValueError(
+                f"component {name!r} has {len(values)} values for "
+                f"{len(labels)} labels")
+    if len(components) > len(_FILLS):
+        raise ValueError(f"at most {len(_FILLS)} components supported")
+
+    totals = [sum(values[index] for _, values in components)
+              for index in range(len(labels))]
+    peak = max(totals)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max(len(label) for label in labels)
+
+    lines = [title, "-" * len(title)]
+    for index, label in enumerate(labels):
+        bar = ""
+        for (name, values), fill in zip(components, _FILLS):
+            bar += fill * round(values[index] * scale)
+        total = totals[index]
+        lines.append(f"{label.rjust(label_width)} |{bar.ljust(width)}| "
+                     f"{total:,.1f}{unit}")
+    legend = "   ".join(
+        f"{fill} {name}" for (name, __), fill in zip(components, _FILLS))
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""ASCII table rendering for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 note: str = "") -> str:
+    """Render a simple aligned ASCII table with a title and footnote."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} "
+                f"columns")
+        for column, cell in zip(columns, row):
+            column.append(_format(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = [title, "=" * len(title)]
+    header_line = " | ".join(
+        cell.ljust(width) for cell, width in
+        zip((column[0] for column in columns), widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for index in range(1, len(columns[0])):
+        lines.append(" | ".join(
+            column[index].rjust(width) if index > 0 else column[index]
+            for column, width in zip(columns, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _format(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``query``    — run an XPath query against an XML file or a generated
+  data set, with algorithm selection, plan explanation and metrics.
+* ``explain``  — show the plans every algorithm picks for a query.
+* ``stats``    — storage and data statistics of a document.
+* ``generate`` — write one of the synthetic benchmark documents as XML.
+* ``bench``    — regenerate a paper table or figure.
+
+Examples::
+
+    python -m repro query --xml pers.xml "//manager//employee/name"
+    python -m repro query --dataset pers --nodes 3000 --algorithm FP \
+        --explain "//manager/department/name"
+    python -m repro explain --dataset dblp "//article/author"
+    python -m repro generate mbench --nodes 2000 --output mbench.xml
+    python -m repro bench table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Sequence
+
+from repro.api import Database
+from repro.bench.experiments import (figure7, figure8, table1, table2,
+                                     table3)
+from repro.bench.harness import ExperimentSetup
+from repro.document.serialize import write_xml
+from repro.errors import ReproError
+from repro.workloads.queries import dataset_document
+
+ALGORITHMS = ("DP", "DPP", "DPP'", "DPAP-EB", "DPAP-LD", "FP")
+
+BENCH_DRIVERS = {
+    "table1": lambda setup: table1(setup),
+    "table2": lambda setup: table2(setup),
+    "table3": lambda setup: table3(setup),
+    "figure7": lambda setup: figure7(setup),
+    "figure8": lambda setup: figure8(setup),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Structural join order selection for XML queries "
+                    "(ICDE 2003 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_source(sub: argparse.ArgumentParser) -> None:
+        source = sub.add_mutually_exclusive_group(required=True)
+        source.add_argument("--xml", metavar="FILE",
+                            help="load an XML document from a file")
+        source.add_argument("--dataset",
+                            choices=("pers", "dblp", "mbench"),
+                            help="generate a synthetic data set")
+        sub.add_argument("--nodes", type=int, default=2000,
+                         help="target size for generated data sets")
+        sub.add_argument("--seed", type=int, default=42)
+
+    query = commands.add_parser("query", help="run an XPath query")
+    add_source(query)
+    query.add_argument("xpath")
+    query.add_argument("--algorithm", choices=ALGORITHMS, default="DPP")
+    query.add_argument("--holistic", action="store_true",
+                       help="evaluate with one TwigStack instead of "
+                            "binary joins")
+    query.add_argument("--explain", action="store_true",
+                       help="print the chosen plan")
+    query.add_argument("--limit", type=int, default=10,
+                       help="result rows to print (0 = none)")
+
+    explain = commands.add_parser(
+        "explain", help="compare the plans all algorithms pick")
+    add_source(explain)
+    explain.add_argument("xpath")
+
+    stats = commands.add_parser("stats", help="document statistics")
+    add_source(stats)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic data set as XML")
+    generate.add_argument("dataset", choices=("pers", "dblp", "mbench"))
+    generate.add_argument("--nodes", type=int, default=2000)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", metavar="FILE", default="-",
+                          help="output path ('-' for stdout)")
+
+    bench = commands.add_parser(
+        "bench", help="regenerate a paper table or figure")
+    bench.add_argument("artifact", choices=sorted(BENCH_DRIVERS))
+    bench.add_argument("--pers-nodes", type=int, default=2000)
+
+    trace = commands.add_parser(
+        "trace", help="watch DPP optimize (Example 3.6 narrative)")
+    add_source(trace)
+    trace.add_argument("xpath")
+    trace.add_argument("--dot", action="store_true",
+                       help="emit the search graph as Graphviz dot")
+    trace.add_argument("--limit", type=int, default=60,
+                       help="events to print (narrative mode)")
+    return parser
+
+
+def _open_database(arguments: argparse.Namespace) -> Database:
+    if arguments.xml:
+        with open(arguments.xml, encoding="utf-8") as handle:
+            return Database.from_xml(handle.read(), name=arguments.xml)
+    kwargs = {"seed": arguments.seed}
+    if arguments.dataset == "dblp":
+        kwargs["entries"] = max(arguments.nodes // 9, 1)
+    else:
+        kwargs["target_nodes"] = arguments.nodes
+    return Database.from_document(
+        dataset_document(arguments.dataset, **kwargs))
+
+
+def _command_query(arguments: argparse.Namespace, out: IO[str]) -> int:
+    database = _open_database(arguments)
+    pattern = database.compile(arguments.xpath)
+    if arguments.holistic:
+        execution = database.holistic_query(pattern)
+        out.write(f"{len(execution)} matches (holistic twig join)\n")
+    else:
+        result = database.query(pattern, algorithm=arguments.algorithm)
+        execution = result.execution
+        report = result.optimization.report
+        out.write(f"{len(execution)} matches "
+                  f"({arguments.algorithm}: "
+                  f"{report.optimization_seconds * 1e3:.2f} ms, "
+                  f"{report.alternatives_considered} plans)\n")
+        if arguments.explain:
+            out.write(result.explain() + "\n")
+    out.write(f"engine: {execution.metrics.summary()}\n")
+    if arguments.limit:
+        document = database.document
+        for binding in execution.bindings()[:arguments.limit]:
+            parts = []
+            for node_id in sorted(binding):
+                node = document.node(binding[node_id].start)
+                text = f"={node.text!r}" if node.text else ""
+                parts.append(f"${node_id}<{node.tag}>{text}")
+            out.write("  " + " ".join(parts) + "\n")
+    return 0
+
+
+def _command_explain(arguments: argparse.Namespace, out: IO[str]) -> int:
+    database = _open_database(arguments)
+    pattern = database.compile(arguments.xpath)
+    out.write("Pattern:\n" + pattern.describe() + "\n")
+    for algorithm in ALGORITHMS:
+        result = database.optimize(pattern, algorithm=algorithm)
+        out.write(f"\n=== {algorithm} "
+                  f"(estimated {result.estimated_cost:,.0f}, "
+                  f"{result.report.alternatives_considered} plans, "
+                  f"{result.report.optimization_seconds * 1e3:.2f} ms)\n")
+        out.write(result.explain() + "\n")
+    return 0
+
+
+def _command_stats(arguments: argparse.Namespace, out: IO[str]) -> int:
+    database = _open_database(arguments)
+    for key, value in database.statistics().items():
+        out.write(f"{key:16s} {value}\n")
+    histogram = database.document.tag_histogram()
+    out.write("tags:\n")
+    for tag in sorted(histogram, key=histogram.get, reverse=True):
+        out.write(f"  {tag:16s} {histogram[tag]}\n")
+    return 0
+
+
+def _command_generate(arguments: argparse.Namespace,
+                      out: IO[str]) -> int:
+    kwargs = {"seed": arguments.seed}
+    if arguments.dataset == "dblp":
+        kwargs["entries"] = max(arguments.nodes // 9, 1)
+    else:
+        kwargs["target_nodes"] = arguments.nodes
+    document = dataset_document(arguments.dataset, **kwargs)
+    if arguments.output == "-":
+        write_xml(document, out)
+    else:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            write_xml(document, handle)
+        out.write(f"wrote {len(document)} nodes to "
+                  f"{arguments.output}\n")
+    return 0
+
+
+def _command_bench(arguments: argparse.Namespace, out: IO[str]) -> int:
+    setup = ExperimentSetup(pers_nodes=arguments.pers_nodes)
+    output = BENCH_DRIVERS[arguments.artifact](setup)
+    out.write(output.text + "\n")
+    return 0
+
+
+def _command_trace(arguments: argparse.Namespace, out: IO[str]) -> int:
+    from repro.core.dpp import DPPOptimizer
+    from repro.core.trace import SearchTrace
+    from repro.core.viz import trace_to_dot
+
+    database = _open_database(arguments)
+    pattern = database.compile(arguments.xpath)
+    recorder = SearchTrace()
+    optimizer = DPPOptimizer(cost_model=database.cost_model,
+                             trace=recorder)
+    result = optimizer.optimize(pattern, database.estimator)
+    if arguments.dot:
+        out.write(trace_to_dot(recorder) + "\n")
+        return 0
+    out.write(pattern.describe() + "\n\n")
+    out.write(recorder.narrative(limit=arguments.limit) + "\n\n")
+    out.write(f"chosen plan (estimated {result.estimated_cost:,.0f}):\n")
+    out.write(result.explain() + "\n")
+    return 0
+
+
+_COMMANDS = {
+    "query": _command_query,
+    "explain": _command_explain,
+    "stats": _command_stats,
+    "generate": _command_generate,
+    "bench": _command_bench,
+    "trace": _command_trace,
+}
+
+
+def main(argv: Sequence[str] | None = None,
+         out: IO[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return _COMMANDS[arguments.command](arguments, out)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Cost model for the physical operations (Sec. 2.2.2).
+
+The paper costs four physical operations with per-system weight
+factors:
+
+* index access of ``n`` items:      ``f_I * n``
+* sort of ``n`` items:              ``n * log2(n) * f_s``
+* Stack-Tree-Anc join:              ``2 * |AB| * f_IO + 2 * |A| * f_st``
+* Stack-Tree-Desc join:             ``2 * |A| * f_st``
+
+where ``|A|`` is the cardinality of the ancestor-side input and
+``|AB|`` the cardinality of the join output.  The same factors are
+reused by :mod:`repro.engine.metrics` to convert measured operation
+counts into *simulated seconds*, so the optimizer's estimates and the
+engine's reports are expressed in one currency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+
+
+@dataclass(frozen=True, slots=True)
+class CostFactors:
+    """Weight factors normalizing the four physical operations.
+
+    Defaults model a system where disk I/O is the expensive operation,
+    sorting costs more per item than a stack operation, and index
+    access is cheap per retrieved item — the relative magnitudes the
+    paper's experiments imply (I/O-bound STA joins, sort-heavy
+    left-deep plans).  The sort/IO ratio places the blocking-vs-
+    pipelined crossover (Table 3 / Sec. 4.3) around ``n*log2(n*) =
+    2*f_io/f_sort``, i.e. intermediate results of ~64K tuples at the
+    defaults — inside the folding range the benchmarks sweep.  Units
+    are arbitrary "cost units".
+    """
+
+    f_index: float = 1.0
+    f_sort: float = 2.0
+    f_io: float = 16.0
+    f_stack: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("f_index", "f_sort", "f_io", "f_stack"):
+            if getattr(self, name) < 0:
+                raise OptimizerError(f"cost factor {name} must be >= 0")
+
+
+class CostModel:
+    """Evaluates the Sec. 2.2.2 cost formulae for given cardinalities."""
+
+    def __init__(self, factors: CostFactors | None = None) -> None:
+        self.factors = factors or CostFactors()
+
+    def index_access(self, items: int) -> float:
+        """Cost of retrieving *items* postings from the tag index."""
+        self._check(items, "items")
+        return self.factors.f_index * items
+
+    def sort(self, items: int) -> float:
+        """Cost of sorting *items* tuples (``n log n``)."""
+        self._check(items, "items")
+        if items <= 1:
+            return 0.0
+        return items * math.log2(items) * self.factors.f_sort
+
+    def stack_tree_anc(self, ancestor_cardinality: float,
+                       output_cardinality: float) -> float:
+        """Stack-Tree-Anc: buffers output lists, paying I/O on |AB|."""
+        self._check(ancestor_cardinality, "ancestor cardinality")
+        self._check(output_cardinality, "output cardinality")
+        return (2.0 * output_cardinality * self.factors.f_io
+                + 2.0 * ancestor_cardinality * self.factors.f_stack)
+
+    def stack_tree_desc(self, ancestor_cardinality: float) -> float:
+        """Stack-Tree-Desc: pure streaming, stack work only."""
+        self._check(ancestor_cardinality, "ancestor cardinality")
+        return 2.0 * ancestor_cardinality * self.factors.f_stack
+
+    @staticmethod
+    def _check(value: float, what: str) -> None:
+        if value < 0:
+            raise OptimizerError(f"{what} must be >= 0, got {value}")

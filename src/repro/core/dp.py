@@ -1,0 +1,85 @@
+"""Exhaustive dynamic programming (Sec. 3.1).
+
+The textbook algorithm adapted to statuses: search proceeds strictly
+level by level (Definition 5); every status on a level is expanded
+through all its possible moves; when the same status is generated along
+several paths only the cheapest is retained.  Guaranteed optimal, and
+deliberately unpruned — it is the yardstick DPP is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+from repro.core.enumeration import (EnumerationContext, build_plan,
+                                    possible_moves)
+from repro.core.optimizer import Optimizer, register
+from repro.core.plans import PhysicalPlan
+from repro.core.stats import OptimizerReport
+from repro.core.status import Move, Status
+
+
+@dataclass
+class _Entry:
+    """Best known way to reach a status."""
+
+    cost: float
+    previous: Status | None
+    move: Move | None
+
+
+def reconstruct_moves(levels: list[dict[Status, _Entry]],
+                      final_status: Status) -> list[Move]:
+    """Walk back-pointers from a final status to the start status."""
+    moves: list[Move] = []
+    status = final_status
+    for level in range(len(levels) - 1, 0, -1):
+        entry = levels[level][status]
+        if entry.move is None or entry.previous is None:
+            raise OptimizerError("broken back-pointer chain")
+        moves.append(entry.move)
+        status = entry.previous
+    moves.reverse()
+    return moves
+
+
+@register
+class DPOptimizer(Optimizer):
+    """Level-wise exhaustive dynamic programming."""
+
+    name = "DP"
+
+    def _search(self, context: EnumerationContext,
+                report: OptimizerReport) -> tuple[PhysicalPlan, float]:
+        start = Status.start(context.pattern)
+        levels: list[dict[Status, _Entry]] = [
+            {start: _Entry(context.start_cost(), None, None)}]
+        report.statuses_generated += 1
+
+        for _ in context.pattern.edges:
+            current = levels[-1]
+            next_level: dict[Status, _Entry] = {}
+            for status, entry in current.items():
+                report.statuses_expanded += 1
+                for move in possible_moves(status, context):
+                    report.plans_considered += 1
+                    new_cost = entry.cost + move.cost
+                    existing = next_level.get(move.result)
+                    if existing is None:
+                        report.statuses_generated += 1
+                        next_level[move.result] = _Entry(new_cost, status,
+                                                         move)
+                    elif new_cost < existing.cost:
+                        next_level[move.result] = _Entry(new_cost, status,
+                                                         move)
+            levels.append(next_level)
+
+        finals = {status: entry for status, entry in levels[-1].items()
+                  if status.is_final()}
+        if not finals:
+            raise OptimizerError("search reached no final status")
+        best_status = min(finals, key=lambda status: finals[status].cost)
+        moves = reconstruct_moves(levels, best_status)
+        plan = build_plan(moves, context)
+        return plan, plan.estimated_cost

@@ -1,0 +1,343 @@
+"""Shared plan-enumeration machinery.
+
+Everything the five optimizers have in common lives here: the
+per-query :class:`EnumerationContext` (pattern + cost model +
+cardinality cache), move generation (``possible_moves``), deadend
+detection (Definition 6 / the Lookahead Rule), the ``ubCost`` upper
+bound used by DPP's priority queue, and the translation of a winning
+move sequence back into a :class:`~repro.core.plans.PhysicalPlan`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizerError
+from repro.core.cost import CostModel
+from repro.core.pattern import PatternEdge, QueryPattern
+from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
+                              SortPlan, StructuralJoinPlan)
+from repro.core.status import ANY_ORDER, Move, Status, StatusNode
+from repro.estimation.estimator import (CardinalityEstimator,
+                                        PatternCardinalities)
+
+
+class EnumerationContext:
+    """Per-optimize-call bundle: pattern, cost model, cached estimates."""
+
+    def __init__(self, pattern: QueryPattern, cost_model: CostModel,
+                 estimator: CardinalityEstimator) -> None:
+        self.pattern = pattern
+        self.cost_model = cost_model
+        self.cards = PatternCardinalities(pattern, estimator)
+        self._depths = self._node_depths()
+        self._remaining: dict[Status, tuple[PatternEdge, ...]] = {}
+
+    def remaining_edges(self, status: "Status") -> tuple[PatternEdge, ...]:
+        """Memoized ``status.remaining_edges`` — the hottest query of
+        the whole search, shared by move generation, the lookahead
+        test and the ubCost bound."""
+        cached = self._remaining.get(status)
+        if cached is None:
+            cached = tuple(status.remaining_edges(self.pattern))
+            self._remaining[status] = cached
+        return cached
+
+    def _node_depths(self) -> dict[int, int]:
+        depths = {self.pattern.root: 0}
+        for node_id in self.pattern.walk_preorder():
+            for child in self.pattern.children(node_id):
+                depths[child] = depths[node_id] + 1
+        return depths
+
+    def depth(self, node_id: int) -> int:
+        return self._depths[node_id]
+
+    def start_cost(self) -> float:
+        """Index-access cost of retrieving every candidate list.
+
+        Charged on the start status: every plan scans the same indexes,
+        so this is a constant offset, but including it keeps estimated
+        plan costs comparable with measured execution costs.
+        """
+        return sum(
+            self.cost_model.index_access(self.cards.candidates(node.node_id))
+            for node in self.pattern.nodes)
+
+
+def edge_eligible(status: Status, edge: PatternEdge) -> bool:
+    """Can *edge* be joined without re-sorting either input?
+
+    The stack-tree algorithms need the ancestor-side input ordered by
+    the ancestor node and the descendant-side input ordered by the
+    descendant node.  Singleton clusters (index scans) are ordered by
+    their own node, so they are always eligible.
+    """
+    return (status.cluster_of(edge.parent).ordered_by == edge.parent
+            and status.cluster_of(edge.child).ordered_by == edge.child)
+
+
+def is_deadend(status: Status, pattern: QueryPattern) -> bool:
+    """Definition 6: a non-final status with no possible moves."""
+    if status.is_final():
+        return False
+    return not any(edge_eligible(status, edge)
+                   for edge in status.remaining_edges(pattern))
+
+
+def is_doomed(status: Status, context: "EnumerationContext") -> bool:
+    """Stronger lookahead: can *status* still reach the final status?
+
+    A move may re-sort its *output* to any node, but never an existing
+    cluster's input: once a multi-node cluster is ordered by ``w``, the
+    first join that consumes it must be on a remaining edge whose
+    endpoint inside the cluster is exactly ``w``.  A cluster with no
+    such edge can never participate in another join, so the status is
+    unsalvageable even if Definition 6's one-step test passes.
+
+    Used as the Lookahead Rule's test (any sound dead-status test keeps
+    DPP exact); :func:`is_deadend` remains the literal Definition 6.
+    """
+    if status.is_final():
+        return False
+    remaining = context.remaining_edges(status)
+    for cluster in status.clusters:
+        if cluster.is_singleton:
+            continue
+        satisfiable = any(
+            (edge.parent in cluster.nodes
+             and edge.parent == cluster.ordered_by)
+            or (edge.child in cluster.nodes
+                and edge.child == cluster.ordered_by)
+            for edge in remaining)
+        if not satisfiable:
+            return True
+    return not any(edge_eligible(status, edge) for edge in remaining)
+
+
+def left_deep_allows(status: Status, edge: PatternEdge) -> bool:
+    """DPAP-LD rule: moves must extend the single *growing node*."""
+    growing = status.growing_nodes()
+    if not growing:
+        return True  # the first join creates the growing node
+    if len(growing) > 1:
+        return False
+    cluster = growing[0]
+    return (edge.parent in cluster.nodes) != (edge.child in cluster.nodes)
+
+
+def possible_moves(status: Status, context: EnumerationContext,
+                   left_deep: bool = False) -> list[Move]:
+    """All moves from *status* (pM(S) of Sec. 3.1.1).
+
+    For every eligible remaining edge ``(u, v)`` the alternatives are:
+
+    * Stack-Tree-Desc, output ordered by ``v``;
+    * Stack-Tree-Anc, output ordered by ``u``;
+    * Stack-Tree-Desc followed by a sort to any other node of the
+      merged cluster (including ``u`` — sometimes cheaper than STA).
+
+    A move that completes the pattern canonicalizes the final ordering:
+    to the query's ``order_by`` (charging a final sort if the native
+    order differs), or to ``ANY_ORDER`` when the query is unordered.
+    """
+    pattern = context.pattern
+    cost_model = context.cost_model
+    moves: list[Move] = []
+    for edge in context.remaining_edges(status):
+        if not edge_eligible(status, edge):
+            continue
+        if left_deep and not left_deep_allows(status, edge):
+            continue
+        ancestor_cluster = status.cluster_of(edge.parent)
+        descendant_cluster = status.cluster_of(edge.child)
+        merged_nodes = ancestor_cluster.nodes | descendant_cluster.nodes
+        ancestor_card = context.cards.cluster(ancestor_cluster.nodes)
+        merged_card = context.cards.cluster(merged_nodes)
+        other_clusters = frozenset(
+            cluster for cluster in status.clusters
+            if cluster not in (ancestor_cluster, descendant_cluster))
+        is_final = len(merged_nodes) == len(pattern)
+
+        def emit(algorithm: JoinAlgorithm, native_order: int,
+                 join_cost: float, sort_to: int | None = None) -> None:
+            cost = join_cost
+            order = native_order
+            if sort_to is not None:
+                cost += cost_model.sort(merged_card)
+                order = sort_to
+            if is_final:
+                if pattern.order_by is None:
+                    order = ANY_ORDER
+                    sort_to = None
+                elif order != pattern.order_by:
+                    sort_to = pattern.order_by
+                    cost += cost_model.sort(merged_card)
+                    order = pattern.order_by
+            merged = StatusNode(merged_nodes, order)
+            result = Status(other_clusters | frozenset((merged,)))
+            moves.append(Move(edge=edge, algorithm=algorithm,
+                              sort_to=sort_to, cost=cost, result=result))
+
+        desc_cost = cost_model.stack_tree_desc(ancestor_card)
+        anc_cost = cost_model.stack_tree_anc(ancestor_card, merged_card)
+        emit(JoinAlgorithm.STACK_TREE_DESC, edge.child, desc_cost)
+        emit(JoinAlgorithm.STACK_TREE_ANC, edge.parent, anc_cost)
+        if not is_final:
+            for target in merged_nodes:
+                if target != edge.child:
+                    emit(JoinAlgorithm.STACK_TREE_DESC, edge.child,
+                         desc_cost, sort_to=target)
+    return moves
+
+
+def upper_bound_completion(status: Status,
+                           context: EnumerationContext) -> float:
+    """ubCost (Sec. 3.2): upper-bound cost to reach the final status.
+
+    The bound is the cost of one *feasible* completion, built greedily:
+    repeatedly join a remaining edge whose two sides are currently
+    joinable — a side is joinable if it is a singleton, if its fixed
+    ordering matches the edge endpoint, or if it was merged during this
+    completion (every merged result is charged a sort, so its order is
+    freely re-chosen).  Each join is charged Stack-Tree-Desc plus that
+    sort on the estimated cluster cardinalities.
+
+    Because the completion is achievable, ``Cost + ubCost`` of any
+    live status is the cost of a real full plan — DPP seeds its
+    pruning threshold from it, which is what confines the search to
+    the paper's "narrow band along the optimal path".  Unsalvageable
+    statuses (see :func:`is_doomed`) get ``inf``.
+    """
+    cost_model = context.cost_model
+    remaining = list(context.remaining_edges(status))
+    if not remaining:
+        return 0.0
+    representative: dict[int, int] = {}
+    members: dict[int, frozenset[int]] = {}
+    cardinality: dict[int, float] = {}
+    ordering: dict[int, int] = {}
+    reorderable: dict[int, bool] = {}
+    for cluster in status.clusters:
+        rep = min(cluster.nodes)
+        for node_id in cluster.nodes:
+            representative[node_id] = rep
+        members[rep] = cluster.nodes
+        cardinality[rep] = context.cards.cluster(cluster.nodes)
+        ordering[rep] = cluster.ordered_by
+        reorderable[rep] = False
+
+    def joinable(rep: int, endpoint: int) -> bool:
+        return reorderable[rep] or ordering[rep] == endpoint
+
+    total = 0.0
+    while remaining:
+        chosen = None
+        for index, edge in enumerate(remaining):
+            anc_rep = representative[edge.parent]
+            desc_rep = representative[edge.child]
+            if (joinable(anc_rep, edge.parent)
+                    and joinable(desc_rep, edge.child)):
+                chosen = index
+                break
+        if chosen is None:
+            return float("inf")  # doomed status: no feasible completion
+        edge = remaining.pop(chosen)
+        anc_rep = representative[edge.parent]
+        desc_rep = representative[edge.child]
+        merged_nodes = members[anc_rep] | members[desc_rep]
+        merged_card = context.cards.cluster(merged_nodes)
+        total += (cost_model.stack_tree_desc(cardinality[anc_rep])
+                  + cost_model.sort(merged_card))
+        for node_id in merged_nodes:
+            representative[node_id] = anc_rep
+        members[anc_rep] = merged_nodes
+        cardinality[anc_rep] = merged_card
+        reorderable[anc_rep] = True
+    return total
+
+
+def build_plan(moves: list[Move],
+               context: EnumerationContext) -> PhysicalPlan:
+    """Translate a start-to-final move sequence into a physical plan."""
+    pattern = context.pattern
+    cost_model = context.cost_model
+    plans: dict[frozenset[int], PhysicalPlan] = {}
+    for node in pattern.nodes:
+        scan_cost = cost_model.index_access(
+            context.cards.candidates(node.node_id))
+        plans[frozenset((node.node_id,))] = IndexScanPlan(
+            node.node_id,
+            estimated_cardinality=context.cards.node(node.node_id),
+            estimated_cost=scan_cost)
+
+    for move in moves:
+        ancestor_key = _key_containing(plans, move.edge.parent)
+        descendant_key = _key_containing(plans, move.edge.child)
+        ancestor_plan = plans.pop(ancestor_key)
+        descendant_plan = plans.pop(descendant_key)
+        merged_key = ancestor_key | descendant_key
+        merged_card = context.cards.cluster(merged_key)
+        ancestor_card = context.cards.cluster(ancestor_key)
+        if move.algorithm is JoinAlgorithm.STACK_TREE_ANC:
+            join_cost = cost_model.stack_tree_anc(ancestor_card, merged_card)
+        else:
+            join_cost = cost_model.stack_tree_desc(ancestor_card)
+        plan: PhysicalPlan = StructuralJoinPlan(
+            ancestor_plan, descendant_plan,
+            move.edge.parent, move.edge.child,
+            move.edge.axis, move.algorithm,
+            estimated_cardinality=merged_card,
+            estimated_cost=(ancestor_plan.estimated_cost
+                            + descendant_plan.estimated_cost + join_cost))
+        if move.sort_to is not None:
+            plan = SortPlan(plan, move.sort_to,
+                            estimated_cardinality=merged_card,
+                            estimated_cost=(plan.estimated_cost
+                                            + cost_model.sort(merged_card)))
+        plans[merged_key] = plan
+
+    if len(plans) != 1:
+        raise OptimizerError(
+            f"move sequence left {len(plans)} fragments, expected 1")
+    return next(iter(plans.values()))
+
+
+def _key_containing(plans: dict[frozenset[int], PhysicalPlan],
+                    node_id: int) -> frozenset[int]:
+    for key in plans:
+        if node_id in key:
+            return key
+    raise OptimizerError(f"no plan fragment binds node {node_id}")
+
+
+def estimate_plan_cost(plan: PhysicalPlan,
+                       context: EnumerationContext) -> float:
+    """Re-derive a plan's cumulative estimated cost (and annotate it).
+
+    Works on any plan shape, including plans with input sorts that the
+    status search never generates (used by the random-plan sampler).
+    """
+    cost_model = context.cost_model
+    if isinstance(plan, IndexScanPlan):
+        plan.estimated_cardinality = context.cards.node(plan.node_id)
+        plan.estimated_cost = cost_model.index_access(
+            context.cards.candidates(plan.node_id))
+        return plan.estimated_cost
+    if isinstance(plan, SortPlan):
+        child_cost = estimate_plan_cost(plan.child, context)
+        plan.estimated_cardinality = plan.child.estimated_cardinality
+        plan.estimated_cost = child_cost + cost_model.sort(
+            plan.estimated_cardinality)
+        return plan.estimated_cost
+    if isinstance(plan, StructuralJoinPlan):
+        ancestor_cost = estimate_plan_cost(plan.ancestor_plan, context)
+        descendant_cost = estimate_plan_cost(plan.descendant_plan, context)
+        ancestor_card = plan.ancestor_plan.estimated_cardinality
+        merged_card = context.cards.cluster(plan.pattern_nodes())
+        if plan.algorithm is JoinAlgorithm.STACK_TREE_ANC:
+            join_cost = cost_model.stack_tree_anc(ancestor_card, merged_card)
+        else:
+            join_cost = cost_model.stack_tree_desc(ancestor_card)
+        plan.estimated_cardinality = merged_card
+        plan.estimated_cost = ancestor_cost + descendant_cost + join_cost
+        return plan.estimated_cost
+    raise OptimizerError(f"unknown plan node {type(plan).__name__}")

@@ -1,0 +1,360 @@
+"""Query patterns: rooted node-labelled trees (Sec. 2.1).
+
+A :class:`QueryPattern` is the internal form of a tree-pattern query.
+Nodes carry a tag test (or wildcard) plus optional value predicates;
+edges carry an :class:`Axis` — ``CHILD`` for parent/child edges or
+``DESCENDANT`` for ancestor/descendant edges (the ``*``-labelled edges
+of the paper).  Patterns are immutable once built; they are the input
+to every optimizer and the schema of every result tuple.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import PatternError
+from repro.document.node import NodeRecord
+
+
+class Axis(enum.Enum):
+    """Structural relationship required along a pattern edge."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+
+    def __str__(self) -> str:
+        return "/" if self is Axis.CHILD else "//"
+
+
+_OPERATORS: dict[str, Callable[[str, str], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "contains": lambda left, right: right in left,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A value predicate on a pattern node.
+
+    ``kind`` is ``"text"`` (compare the element's character data) or
+    ``"attribute"`` (compare the named attribute).  Comparisons are
+    string comparisons unless both sides parse as numbers, in which
+    case they compare numerically — matching how the workload data
+    encodes values.
+    """
+
+    kind: str
+    op: str
+    value: str
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("text", "attribute"):
+            raise PatternError(f"unknown predicate kind {self.kind!r}")
+        if self.op not in _OPERATORS:
+            raise PatternError(f"unknown predicate operator {self.op!r}")
+        if self.kind == "attribute" and not self.name:
+            raise PatternError("attribute predicates need an attribute name")
+
+    def matches(self, node: NodeRecord) -> bool:
+        """Evaluate this predicate against a data node."""
+        if self.kind == "text":
+            actual = node.text
+        else:
+            actual = node.attributes.get(self.name)
+            if actual is None:
+                return False
+        compare = _OPERATORS[self.op]
+        try:
+            return compare(float(actual), float(self.value))
+        except ValueError:
+            return compare(actual, self.value)
+
+    def __str__(self) -> str:
+        subject = "text()" if self.kind == "text" else f"@{self.name}"
+        return f"{subject} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class PatternNode:
+    """One node of a query pattern.
+
+    ``tag`` is the element-name test (``"*"`` matches any tag).
+    ``predicates`` further restrict the candidate set.  ``node_id`` is
+    the node's index within its pattern (assigned by
+    :class:`QueryPattern`).
+    """
+
+    node_id: int
+    tag: str
+    predicates: tuple[Predicate, ...] = ()
+
+    def matches(self, node: NodeRecord) -> bool:
+        if self.tag != "*" and node.tag != self.tag:
+            return False
+        return all(predicate.matches(node) for predicate in self.predicates)
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.tag == "*"
+
+    def label(self) -> str:
+        """Human-readable label used in plan explanations."""
+        if not self.predicates:
+            return self.tag
+        conditions = " and ".join(str(p) for p in self.predicates)
+        return f"{self.tag}[{conditions}]"
+
+    def __str__(self) -> str:
+        return f"${self.node_id}:{self.label()}"
+
+
+@dataclass(frozen=True, slots=True)
+class PatternEdge:
+    """A directed edge from parent to child in the pattern tree."""
+
+    parent: int
+    child: int
+    axis: Axis = Axis.CHILD
+
+    def __str__(self) -> str:
+        return f"${self.parent} {self.axis} ${self.child}"
+
+
+class QueryPattern:
+    """A rooted tree-pattern query.
+
+    Build one with :meth:`QueryPattern.build`, the
+    :class:`PatternBuilder` helper, or the XPath front-end
+    (:func:`repro.xpath.compile_xpath`).
+    """
+
+    def __init__(self, nodes: Iterable[PatternNode],
+                 edges: Iterable[PatternEdge],
+                 order_by: int | None = None) -> None:
+        self.nodes: tuple[PatternNode, ...] = tuple(nodes)
+        self.edges: tuple[PatternEdge, ...] = tuple(edges)
+        self.order_by = order_by
+        self._parents: dict[int, PatternEdge] = {}
+        self._children: dict[int, list[PatternEdge]] = {}
+        self._validate()
+        self._edge_by_pair = {(edge.parent, edge.child): edge
+                              for edge in self.edges}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, spec: Mapping[str, object]) -> "QueryPattern":
+        """Build a pattern from a compact dict specification.
+
+        Example::
+
+            QueryPattern.build({
+                "nodes": ["manager", "employee", "name"],
+                "edges": [(0, 1, "//"), (1, 2, "/")],
+                "order_by": 0,
+            })
+        """
+        node_specs = spec["nodes"]
+        nodes = []
+        for index, node_spec in enumerate(node_specs):  # type: ignore[arg-type]
+            if isinstance(node_spec, str):
+                nodes.append(PatternNode(index, node_spec))
+            else:
+                tag, predicates = node_spec  # type: ignore[misc]
+                nodes.append(PatternNode(index, tag, tuple(predicates)))
+        edges = []
+        for parent, child, axis in spec["edges"]:  # type: ignore[misc]
+            if isinstance(axis, str):
+                axis = Axis.DESCENDANT if axis == "//" else Axis.CHILD
+            edges.append(PatternEdge(parent, child, axis))
+        return cls(nodes, edges, order_by=spec.get("order_by"))  # type: ignore[arg-type]
+
+    def _validate(self) -> None:
+        if not self.nodes:
+            raise PatternError("a pattern needs at least one node")
+        ids = [node.node_id for node in self.nodes]
+        if ids != list(range(len(self.nodes))):
+            raise PatternError("pattern node ids must be 0..n-1 in order")
+        if len(self.edges) != len(self.nodes) - 1:
+            raise PatternError(
+                f"a tree with {len(self.nodes)} nodes needs "
+                f"{len(self.nodes) - 1} edges, got {len(self.edges)}")
+        for edge in self.edges:
+            for endpoint in (edge.parent, edge.child):
+                if not 0 <= endpoint < len(self.nodes):
+                    raise PatternError(f"edge references node {endpoint}, "
+                                       f"which does not exist")
+            if edge.child in self._parents:
+                raise PatternError(f"node {edge.child} has two parents")
+            self._parents[edge.child] = edge
+            self._children.setdefault(edge.parent, []).append(edge)
+        roots = [node.node_id for node in self.nodes
+                 if node.node_id not in self._parents]
+        if len(roots) != 1:
+            raise PatternError(f"pattern must have one root, found {roots}")
+        self._root = roots[0]
+        # connectivity: BFS from the root must reach every node.
+        seen = {self._root}
+        frontier = [self._root]
+        while frontier:
+            current = frontier.pop()
+            for edge in self._children.get(current, ()):
+                seen.add(edge.child)
+                frontier.append(edge.child)
+        if len(seen) != len(self.nodes):
+            raise PatternError("pattern is not connected")
+        if self.order_by is not None and not (
+                0 <= self.order_by < len(self.nodes)):
+            raise PatternError(f"order_by node {self.order_by} out of range")
+
+    # -- structure accessors --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def root(self) -> int:
+        return self._root
+
+    def node(self, node_id: int) -> PatternNode:
+        return self.nodes[node_id]
+
+    def parent_edge(self, node_id: int) -> PatternEdge | None:
+        return self._parents.get(node_id)
+
+    def child_edges(self, node_id: int) -> list[PatternEdge]:
+        return list(self._children.get(node_id, ()))
+
+    def children(self, node_id: int) -> list[int]:
+        return [edge.child for edge in self._children.get(node_id, ())]
+
+    def edge_between(self, a: int, b: int) -> PatternEdge | None:
+        """The edge joining *a* and *b*, in either direction."""
+        return (self._edge_by_pair.get((a, b))
+                or self._edge_by_pair.get((b, a)))
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """All nodes adjacent to *node_id* in the (undirected) tree."""
+        result = [edge.child for edge in self._children.get(node_id, ())]
+        parent = self._parents.get(node_id)
+        if parent is not None:
+            result.append(parent.parent)
+        return result
+
+    def is_connected_subset(self, node_ids: frozenset[int] | set[int]) -> bool:
+        """Definition 1: is *node_ids* a valid status-node cluster?"""
+        if not node_ids:
+            return False
+        start = next(iter(node_ids))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor in node_ids and neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(node_ids)
+
+    def edges_within(self, node_ids: frozenset[int]) -> list[PatternEdge]:
+        """Pattern edges with both endpoints inside *node_ids*."""
+        return [edge for edge in self.edges
+                if edge.parent in node_ids and edge.child in node_ids]
+
+    def subtree_nodes(self, node_id: int) -> frozenset[int]:
+        """Node ids of the subtree rooted at *node_id*."""
+        seen = {node_id}
+        frontier = [node_id]
+        while frontier:
+            current = frontier.pop()
+            for child in self.children(current):
+                seen.add(child)
+                frontier.append(child)
+        return frozenset(seen)
+
+    def walk_preorder(self) -> Iterator[int]:
+        """Node ids in pre-order from the root."""
+        stack = [self._root]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(reversed(self.children(current)))
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf edge path."""
+        depths = {self._root: 0}
+        best = 0
+        for node_id in self.walk_preorder():
+            for child in self.children(node_id):
+                depths[child] = depths[node_id] + 1
+                best = max(best, depths[child])
+        return best
+
+    def describe(self) -> str:
+        """Multi-line, indented rendering of the pattern tree."""
+        lines: list[str] = []
+        depths = {self._root: 0}
+
+        def visit(node_id: int) -> None:
+            depth = depths[node_id]
+            edge = self.parent_edge(node_id)
+            prefix = "  " * depth + (str(edge.axis) if edge else "")
+            lines.append(f"{prefix}{self.node(node_id).label()}")
+            for child in self.children(node_id):
+                depths[child] = depth + 1
+                visit(child)
+
+        visit(self._root)
+        if self.order_by is not None:
+            lines.append(f"order by ${self.order_by}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"QueryPattern(nodes={len(self.nodes)}, "
+                f"edges={len(self.edges)})")
+
+
+class PatternBuilder:
+    """Fluent builder for query patterns.
+
+    Example::
+
+        builder = PatternBuilder()
+        manager = builder.node("manager")
+        employee = builder.node("employee")
+        builder.edge(manager, employee, Axis.DESCENDANT)
+        pattern = builder.finish(order_by=manager)
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[PatternNode] = []
+        self._edges: list[PatternEdge] = []
+
+    def node(self, tag: str,
+             predicates: Iterable[Predicate] = ()) -> int:
+        node_id = len(self._nodes)
+        self._nodes.append(PatternNode(node_id, tag, tuple(predicates)))
+        return node_id
+
+    def edge(self, parent: int, child: int,
+             axis: Axis = Axis.CHILD) -> "PatternBuilder":
+        self._edges.append(PatternEdge(parent, child, axis))
+        return self
+
+    def add_predicate(self, node_id: int, predicate: Predicate) -> None:
+        """Attach one more predicate to an already-declared node."""
+        node = self._nodes[node_id]
+        self._nodes[node_id] = PatternNode(
+            node.node_id, node.tag, node.predicates + (predicate,))
+
+    def finish(self, order_by: int | None = None) -> QueryPattern:
+        return QueryPattern(self._nodes, self._edges, order_by=order_by)

@@ -1,0 +1,92 @@
+"""Random valid plans and the "bad plan" yardstick (Sec. 4.2.1).
+
+The paper quantifies how much optimization matters by generating random
+query plans and reporting the worst.  The sampler here builds plans
+directly (not through the status space): it joins the pattern's edges
+in a random order, inserting input sorts wherever the randomly chosen
+state of affairs demands one, and picks a random join algorithm per
+edge.  That covers a superset of the status search space — exactly the
+kind of plan a naive or unlucky translator might produce.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.enumeration import EnumerationContext, estimate_plan_cost
+from repro.core.pattern import QueryPattern
+from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
+                              SortPlan, StructuralJoinPlan)
+from repro.estimation.estimator import CardinalityEstimator
+
+
+class RandomPlanGenerator:
+    """Samples uniformly-random valid structural-join plans."""
+
+    def __init__(self, pattern: QueryPattern, seed: int = 0) -> None:
+        self.pattern = pattern
+        self._rng = random.Random(seed)
+
+    def sample(self) -> PhysicalPlan:
+        """One random plan covering the whole pattern."""
+        pattern = self.pattern
+        fragments: dict[frozenset[int], tuple[PhysicalPlan, int]] = {}
+        for node in pattern.nodes:
+            key = frozenset((node.node_id,))
+            fragments[key] = (IndexScanPlan(node.node_id), node.node_id)
+
+        edges = list(pattern.edges)
+        self._rng.shuffle(edges)
+        for edge in edges:
+            ancestor_key = self._key_of(fragments, edge.parent)
+            descendant_key = self._key_of(fragments, edge.child)
+            ancestor_plan, ancestor_order = fragments.pop(ancestor_key)
+            descendant_plan, descendant_order = fragments.pop(descendant_key)
+            if ancestor_order != edge.parent:
+                ancestor_plan = SortPlan(ancestor_plan, edge.parent)
+            if descendant_order != edge.child:
+                descendant_plan = SortPlan(descendant_plan, edge.child)
+            algorithm = self._rng.choice(
+                (JoinAlgorithm.STACK_TREE_ANC,
+                 JoinAlgorithm.STACK_TREE_DESC))
+            join = StructuralJoinPlan(ancestor_plan, descendant_plan,
+                                      edge.parent, edge.child, edge.axis,
+                                      algorithm)
+            fragments[ancestor_key | descendant_key] = (join,
+                                                        join.ordered_by)
+        (plan, _), = fragments.values()
+        return plan
+
+    @staticmethod
+    def _key_of(fragments: dict[frozenset[int], tuple[PhysicalPlan, int]],
+                node_id: int) -> frozenset[int]:
+        for key in fragments:
+            if node_id in key:
+                return key
+        raise AssertionError(f"node {node_id} lost during sampling")
+
+
+def worst_random_plan(pattern: QueryPattern,
+                      estimator: CardinalityEstimator,
+                      samples: int = 30, seed: int = 0,
+                      cost_model=None) -> tuple[PhysicalPlan, float]:
+    """The costliest of *samples* random plans, by estimated cost.
+
+    This is the paper's "bad plan" column: "randomly (but not
+    exhaustively) generated ... picked the worst of these plans".
+    """
+    from repro.core.cost import CostModel
+
+    context = EnumerationContext(pattern, cost_model or CostModel(),
+                                 estimator)
+    generator = RandomPlanGenerator(pattern, seed=seed)
+    worst_plan: PhysicalPlan | None = None
+    worst_cost = float("-inf")
+    for _ in range(max(samples, 1)):
+        plan = generator.sample()
+        cost = estimate_plan_cost(plan, context)
+        if cost > worst_cost:
+            worst_plan = plan
+            worst_cost = cost
+    assert worst_plan is not None
+    return worst_plan, worst_cost

@@ -1,0 +1,142 @@
+"""Statuses and moves: the optimizer search space (Sec. 3.1.1).
+
+A *status* (Definition 2) captures an intermediate stage of query
+evaluation: the pattern nodes are partitioned into *status nodes*
+(Definition 1) — connected clusters whose internal edges have already
+been joined — and each cluster records the pattern node by which its
+intermediate result is physically ordered.  A *move* (Definition 4)
+evaluates one remaining pattern edge, merging two clusters, choosing a
+join algorithm (which fixes the native output order) and optionally a
+sort that re-orders the merged result.
+
+Statuses are immutable and hashable; two statuses with the same
+clusters and orderings compare equal, which is what lets dynamic
+programming collapse alternative paths (Sec. 3.1.2).  The final status
+(single cluster covering the whole pattern) canonicalizes its ordering
+to the query's ``order_by`` node, or to the ``ANY_ORDER`` sentinel when
+the query does not constrain result order — the paper's "we don't care
+about the ordering any more" (Example 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import OptimizerError
+from repro.core.pattern import PatternEdge, QueryPattern
+from repro.core.plans import JoinAlgorithm
+
+#: Sentinel ordering of a final status when the query has no order-by.
+ANY_ORDER = -1
+
+
+@dataclass(frozen=True, slots=True)
+class StatusNode:
+    """One cluster of already-joined pattern nodes (Definition 1)."""
+
+    nodes: frozenset[int]
+    ordered_by: int
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise OptimizerError("a status node cannot be empty")
+        if self.ordered_by != ANY_ORDER and self.ordered_by not in self.nodes:
+            raise OptimizerError(
+                f"ordered_by {self.ordered_by} is not in the cluster "
+                f"{sorted(self.nodes)}")
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.nodes) == 1
+
+    def __str__(self) -> str:
+        labels = ",".join(
+            f"[{node}]" if node == self.ordered_by else str(node)
+            for node in sorted(self.nodes))
+        return "{" + labels + "}"
+
+
+@dataclass(frozen=True, slots=True)
+class Status:
+    """A partition of the pattern into ordered clusters (Definition 2)."""
+
+    clusters: frozenset[StatusNode]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for cluster in self.clusters:
+            if seen & cluster.nodes:
+                raise OptimizerError("status clusters overlap")
+            seen |= cluster.nodes
+
+    @classmethod
+    def start(cls, pattern: QueryPattern) -> "Status":
+        """The start status S0: every node in its own cluster."""
+        return cls(frozenset(
+            StatusNode(frozenset((node.node_id,)), node.node_id)
+            for node in pattern.nodes))
+
+    # -- accessors ---------------------------------------------------------
+
+    def cluster_of(self, node_id: int) -> StatusNode:
+        for cluster in self.clusters:
+            if node_id in cluster.nodes:
+                return cluster
+        raise OptimizerError(f"node {node_id} not in any cluster")
+
+    def level(self, pattern: QueryPattern) -> int:
+        """Definition 5: number of moves from the start status."""
+        return len(pattern) - len(self.clusters)
+
+    def is_final(self) -> bool:
+        return len(self.clusters) == 1
+
+    def remaining_edges(self, pattern: QueryPattern) -> Iterator[PatternEdge]:
+        """Pattern edges whose endpoints lie in different clusters."""
+        membership: dict[int, StatusNode] = {}
+        for cluster in self.clusters:
+            for node_id in cluster.nodes:
+                membership[node_id] = cluster
+        for edge in pattern.edges:
+            if membership[edge.parent] is not membership[edge.child]:
+                yield edge
+
+    def growing_nodes(self) -> list[StatusNode]:
+        """Clusters holding more than one pattern node (DPAP-LD)."""
+        return [cluster for cluster in self.clusters
+                if not cluster.is_singleton]
+
+    def __str__(self) -> str:
+        return " ".join(sorted(str(cluster) for cluster in self.clusters))
+
+
+@dataclass(frozen=True, slots=True)
+class Move:
+    """One evaluation step (Definition 4).
+
+    Joins the clusters containing ``edge.parent`` (ancestor side) and
+    ``edge.child`` (descendant side) with ``algorithm``, optionally
+    followed by a sort that leaves the merged result ordered by
+    ``sort_to``.  ``cost`` is the estimated cost of the join plus the
+    optional sort; ``result`` is the status reached.
+    """
+
+    edge: PatternEdge
+    algorithm: JoinAlgorithm
+    sort_to: int | None
+    cost: float
+    result: Status
+
+    @property
+    def output_order(self) -> int:
+        """The ordering of the merged cluster after this move."""
+        merged = next(cluster for cluster in self.result.clusters
+                      if self.edge.parent in cluster.nodes)
+        return merged.ordered_by
+
+    def describe(self) -> str:
+        sort_note = (f" + sort by {self.sort_to}"
+                     if self.sort_to is not None else "")
+        return (f"join {self.edge.parent}{self.edge.axis}{self.edge.child} "
+                f"via {self.algorithm}{sort_note} (cost {self.cost:.1f})")

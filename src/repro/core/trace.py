@@ -1,0 +1,86 @@
+"""Search tracing: the Fig. 3 / Fig. 4 optimization process, observable.
+
+The paper illustrates DP and DPP by walking through the statuses they
+generate, expand and prune (Examples 3.3 and 3.6).  A
+:class:`SearchTrace` attached to a DPP-family optimizer records that
+walk: statuses are numbered in generation order — exactly how Fig. 4
+numbers them — and every expansion, pruning, deadend avoidance, cost
+improvement and final-status discovery becomes an event.
+
+Used by ``examples/search_trace.py`` to print the optimization process
+as a narrative, and by tests to assert the search's bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.status import Move, Status
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One step of the search."""
+
+    kind: str            # generate | improve | expand | prune |
+    #                      deadend | final | skip
+    status_id: int
+    cost: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        note = f"  ({self.detail})" if self.detail else ""
+        return f"{self.kind:8s} status{self.status_id} " \
+               f"cost={self.cost:.1f}{note}"
+
+
+@dataclass
+class SearchTrace:
+    """Recorder attached to a DPP-family optimizer."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    _ids: dict[Status, int] = field(default_factory=dict)
+    _render: dict[int, str] = field(default_factory=dict)
+
+    def status_id(self, status: Status) -> int:
+        """Fig. 4-style numbering: statuses in generation order."""
+        identifier = self._ids.get(status)
+        if identifier is None:
+            identifier = len(self._ids)
+            self._ids[status] = identifier
+            self._render[identifier] = str(status)
+        return identifier
+
+    def record(self, kind: str, status: Status, cost: float,
+               detail: str = "") -> None:
+        self.events.append(TraceEvent(kind, self.status_id(status),
+                                      cost, detail))
+
+    # -- views --------------------------------------------------------------
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def status_count(self) -> int:
+        return len(self._ids)
+
+    def describe_status(self, status_id: int) -> str:
+        return self._render.get(status_id, "?")
+
+    def narrative(self, limit: int | None = None) -> str:
+        """Multi-line rendering of the search, Example 3.6 style."""
+        lines = []
+        events = self.events if limit is None else self.events[:limit]
+        for event in events:
+            clusters = self.describe_status(event.status_id)
+            note = f" -- {event.detail}" if event.detail else ""
+            lines.append(f"{event.kind:8s} status{event.status_id:<3d} "
+                         f"{clusters}  cost={event.cost:.1f}{note}")
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+
+def describe_move(move: Move) -> str:
+    """Short human label for a move, for trace details."""
+    return move.describe()

@@ -1,0 +1,24 @@
+"""XML data model: region-encoded nodes, documents, parser, serializer.
+
+The document layer is the lowest substrate of the reproduction.  It
+represents XML documents the way the structural-join literature does:
+every element carries a *region encoding* ``(start, end, level)`` derived
+from a depth-first pre-order traversal, so that the ancestor/descendant
+relationship between two elements can be decided in O(1) from their
+encodings (see :mod:`repro.document.node`).
+"""
+
+from repro.document.node import NodeRecord, Region
+from repro.document.document import XmlDocument
+from repro.document.builder import DocumentBuilder
+from repro.document.parser import parse_xml
+from repro.document.serialize import serialize
+
+__all__ = [
+    "NodeRecord",
+    "Region",
+    "XmlDocument",
+    "DocumentBuilder",
+    "parse_xml",
+    "serialize",
+]

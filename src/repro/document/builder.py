@@ -1,0 +1,174 @@
+"""Programmatic construction of region-encoded documents.
+
+:class:`DocumentBuilder` assigns pre-order start positions as elements
+are opened and patches the ``end`` positions as they are closed, so the
+resulting node table satisfies the region-encoding invariants by
+construction.  It is the single write path into :class:`XmlDocument`
+for both the XML parser and the synthetic workload generators.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.errors import DocumentError
+from repro.document.node import NodeRecord, Region
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.document.document import XmlDocument
+
+
+class _OpenElement:
+    """Bookkeeping for an element whose end position is not yet known."""
+
+    __slots__ = ("node_id", "tag", "parent_id", "attributes", "text_parts")
+
+    def __init__(self, node_id: int, tag: str, parent_id: int,
+                 attributes: Mapping[str, str]) -> None:
+        self.node_id = node_id
+        self.tag = tag
+        self.parent_id = parent_id
+        self.attributes = dict(attributes)
+        self.text_parts: list[str] = []
+
+
+class DocumentBuilder:
+    """Incremental builder for :class:`XmlDocument`.
+
+    Typical usage::
+
+        builder = DocumentBuilder(name="pers")
+        with builder.element("company"):
+            with builder.element("manager", {"id": "m1"}):
+                builder.leaf("name", text="Ada")
+        document = builder.finish()
+    """
+
+    def __init__(self, name: str = "doc") -> None:
+        self.name = name
+        self._next_position = 0
+        self._stack: list[_OpenElement] = []
+        self._records: list[NodeRecord | None] = []
+        self._finished = False
+
+    # -- element lifecycle -----------------------------------------------
+
+    def start_element(self, tag: str,
+                      attributes: Mapping[str, str] | None = None) -> int:
+        """Open an element; returns its node id."""
+        self._check_open()
+        if not self._stack and self._records:
+            raise DocumentError("a document has exactly one root element")
+        node_id = self._next_position
+        self._next_position += 1
+        parent_id = self._stack[-1].node_id if self._stack else -1
+        self._stack.append(
+            _OpenElement(node_id, tag, parent_id, attributes or {}))
+        self._records.append(None)  # placeholder, patched on end_element
+        return node_id
+
+    def text(self, data: str) -> None:
+        """Append character data to the innermost open element."""
+        self._check_open()
+        if not self._stack:
+            if data.strip():
+                raise DocumentError("text outside the root element")
+            return
+        self._stack[-1].text_parts.append(data)
+
+    def end_element(self, tag: str | None = None) -> NodeRecord:
+        """Close the innermost open element and finalize its record."""
+        self._check_open()
+        if not self._stack:
+            raise DocumentError("end_element with no open element")
+        open_element = self._stack.pop()
+        if tag is not None and tag != open_element.tag:
+            raise DocumentError(
+                f"mismatched end tag: expected </{open_element.tag}>, "
+                f"got </{tag}>")
+        region = Region(start=open_element.node_id,
+                        end=self._next_position - 1,
+                        level=len(self._stack))
+        record = NodeRecord(
+            node_id=open_element.node_id,
+            tag=open_element.tag,
+            region=region,
+            parent_id=open_element.parent_id,
+            text="".join(open_element.text_parts).strip(),
+            attributes=open_element.attributes,
+        )
+        self._records[open_element.node_id] = record
+        return record
+
+    @contextlib.contextmanager
+    def element(self, tag: str,
+                attributes: Mapping[str, str] | None = None) -> Iterator[int]:
+        """Context-manager form of start/end element."""
+        node_id = self.start_element(tag, attributes)
+        yield node_id
+        self.end_element(tag)
+
+    def leaf(self, tag: str, attributes: Mapping[str, str] | None = None,
+             text: str = "") -> NodeRecord:
+        """Convenience: an element with only character-data content."""
+        self.start_element(tag, attributes)
+        if text:
+            self.text(text)
+        return self.end_element(tag)
+
+    def splice(self, document: "XmlDocument") -> None:
+        """Copy an entire existing document under the current element.
+
+        Region encodings of the spliced nodes are shifted by the current
+        write position and deepened by the current stack depth.  This is
+        the workhorse of folding-factor replication.
+        """
+        self._check_open()
+        if not self._stack:
+            raise DocumentError("splice requires an open parent element")
+        offset = self._next_position
+        extra_level = len(self._stack)
+        parent_of_root = self._stack[-1].node_id
+        for node in document:
+            region = Region(start=node.start + offset,
+                            end=node.end + offset,
+                            level=node.level + extra_level)
+            parent_id = (parent_of_root if node.parent_id < 0
+                         else node.parent_id + offset)
+            self._records.append(NodeRecord(
+                node_id=node.node_id + offset,
+                tag=node.tag,
+                region=region,
+                parent_id=parent_id,
+                text=node.text,
+                attributes=dict(node.attributes),
+            ))
+        self._next_position += len(document)
+
+    # -- completion --------------------------------------------------------
+
+    def finish(self) -> "XmlDocument":
+        """Validate and freeze the document."""
+        from repro.document.document import XmlDocument
+
+        self._check_open()
+        if self._stack:
+            raise DocumentError(
+                f"unclosed element <{self._stack[-1].tag}>")
+        if not self._records:
+            raise DocumentError("empty document")
+        self._finished = True
+        records = [record for record in self._records if record is not None]
+        if len(records) != len(self._records):
+            raise DocumentError("internal error: unfinished element records")
+        return XmlDocument(records, name=self.name)
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise DocumentError("builder already finished")
+
+    @property
+    def size(self) -> int:
+        """Number of elements started so far."""
+        return self._next_position

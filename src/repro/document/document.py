@@ -1,0 +1,155 @@
+"""In-memory XML document backed by a node table.
+
+An :class:`XmlDocument` is an immutable array of :class:`NodeRecord`
+sorted by pre-order start position (document order), plus secondary
+structures for navigation: a tag partition and a children adjacency
+list.  Documents are produced by :class:`repro.document.DocumentBuilder`
+or :func:`repro.document.parse_xml`, never mutated afterwards.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import DocumentError
+from repro.document.node import NodeRecord
+
+
+class XmlDocument:
+    """A parsed XML document as a region-encoded node table."""
+
+    def __init__(self, nodes: Sequence[NodeRecord], name: str = "doc") -> None:
+        self._nodes: tuple[NodeRecord, ...] = tuple(nodes)
+        self.name = name
+        self._validate()
+        self._by_tag: dict[str, list[NodeRecord]] = {}
+        self._children: dict[int, list[int]] = {}
+        for node in self._nodes:
+            self._by_tag.setdefault(node.tag, []).append(node)
+            if node.parent_id >= 0:
+                self._children.setdefault(node.parent_id, []).append(
+                    node.node_id)
+        self._starts = [node.start for node in self._nodes]
+
+    def _validate(self) -> None:
+        if not self._nodes:
+            raise DocumentError("a document must contain at least one node")
+        starts = [node.start for node in self._nodes]
+        if starts != sorted(starts):
+            raise DocumentError("node table must be sorted by start position")
+        if len(set(starts)) != len(starts):
+            raise DocumentError("start positions must be unique")
+        root = self._nodes[0]
+        if root.parent_id != -1 or root.level != 0:
+            raise DocumentError("first node must be the document root")
+        by_id = {node.node_id: node for node in self._nodes}
+        for node in self._nodes[1:]:
+            parent = by_id.get(node.parent_id)
+            if parent is None:
+                raise DocumentError(
+                    f"node {node.node_id} references missing parent "
+                    f"{node.parent_id}")
+            if not parent.region.is_parent_of(node.region):
+                raise DocumentError(
+                    f"node {node.node_id} region is not nested under its "
+                    f"parent {node.parent_id}")
+
+    # -- basic accessors ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[NodeRecord]:
+        return iter(self._nodes)
+
+    @property
+    def root(self) -> NodeRecord:
+        return self._nodes[0]
+
+    @property
+    def nodes(self) -> tuple[NodeRecord, ...]:
+        return self._nodes
+
+    def node(self, node_id: int) -> NodeRecord:
+        """Return the node with the given id (== start position)."""
+        index = bisect_left(self._starts, node_id)
+        if index == len(self._starts) or self._starts[index] != node_id:
+            raise DocumentError(f"no node with id {node_id}")
+        return self._nodes[index]
+
+    def tags(self) -> list[str]:
+        """Distinct tags, sorted."""
+        return sorted(self._by_tag)
+
+    def nodes_with_tag(self, tag: str) -> list[NodeRecord]:
+        """All nodes with the given tag, in document order."""
+        return list(self._by_tag.get(tag, ()))
+
+    def tag_count(self, tag: str) -> int:
+        return len(self._by_tag.get(tag, ()))
+
+    # -- navigation -----------------------------------------------------
+
+    def parent(self, node: NodeRecord) -> NodeRecord | None:
+        if node.parent_id < 0:
+            return None
+        return self.node(node.parent_id)
+
+    def children(self, node: NodeRecord) -> list[NodeRecord]:
+        return [self.node(child_id)
+                for child_id in self._children.get(node.node_id, ())]
+
+    def descendants(self, node: NodeRecord) -> Iterator[NodeRecord]:
+        """All proper descendants of *node*, in document order."""
+        low = bisect_right(self._starts, node.start)
+        high = bisect_right(self._starts, node.end)
+        return iter(self._nodes[low:high])
+
+    def subtree(self, node: NodeRecord) -> Iterator[NodeRecord]:
+        """*node* followed by its descendants, in document order."""
+        low = bisect_left(self._starts, node.start)
+        high = bisect_right(self._starts, node.end)
+        return iter(self._nodes[low:high])
+
+    def ancestors(self, node: NodeRecord) -> Iterator[NodeRecord]:
+        """Proper ancestors of *node*, nearest first."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    # -- statistics -----------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum node level in the document."""
+        return max(node.level for node in self._nodes)
+
+    def tag_histogram(self) -> dict[str, int]:
+        return {tag: len(nodes) for tag, nodes in self._by_tag.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"XmlDocument(name={self.name!r}, nodes={len(self)}, "
+                f"depth={self.depth()})")
+
+
+def merge_documents(documents: Iterable[XmlDocument],
+                    root_tag: str = "collection",
+                    name: str = "merged") -> XmlDocument:
+    """Concatenate documents under a new synthetic root element.
+
+    Used by the folding-factor replication of the benchmark workloads:
+    the folded data set is the original document repeated *k* times
+    under one root.  Region encodings are shifted so the merged node
+    table is a valid single document.
+    """
+    from repro.document.builder import DocumentBuilder
+
+    documents = list(documents)
+    if not documents:
+        raise DocumentError("cannot merge zero documents")
+    builder = DocumentBuilder(name=name)
+    with builder.element(root_tag):
+        for document in documents:
+            builder.splice(document)
+    return builder.finish()

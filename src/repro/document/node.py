@@ -1,0 +1,114 @@
+"""Region-encoded XML nodes.
+
+The structural-join literature (Al-Khalifa et al., ICDE 2002; Zhang et
+al., SIGMOD 2001) encodes every element of an XML document with a
+*region*: the pair of its pre-order start position and the largest
+position inside its subtree, plus its depth.  With this encoding,
+
+* ``a`` is an **ancestor** of ``d``  iff  ``a.start < d.start <= a.end``
+* ``a`` is the **parent** of ``d``   iff  additionally
+  ``d.level == a.level + 1``
+
+and a list of elements sorted by ``start`` is in document order.  All
+join operators in :mod:`repro.engine` work purely on these encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Region:
+    """A ``(start, end, level)`` region encoding.
+
+    ``start`` and ``end`` are positions in a depth-first pre-order
+    numbering of the document; ``level`` is the depth of the node (the
+    document root has level 0).  Regions are totally ordered by
+    ``(start, end, level)``, which coincides with document order because
+    start positions are unique within a document.
+    """
+
+    start: int
+    end: int
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start or self.level < 0:
+            raise ValueError(f"invalid region ({self.start}, {self.end}, "
+                             f"{self.level})")
+
+    def contains(self, other: "Region") -> bool:
+        """Return True if *other* lies strictly inside this region."""
+        return self.start < other.start and other.end <= self.end
+
+    def is_ancestor_of(self, other: "Region") -> bool:
+        """Alias of :meth:`contains`, named for query semantics."""
+        return self.contains(other)
+
+    def is_parent_of(self, other: "Region") -> bool:
+        """Return True if *other* is an immediate child of this region."""
+        return self.contains(other) and other.level == self.level + 1
+
+    def is_descendant_of(self, other: "Region") -> bool:
+        return other.contains(self)
+
+    def precedes(self, other: "Region") -> bool:
+        """Document-order "strictly before and disjoint" test."""
+        return self.end < other.start
+
+    @property
+    def subtree_size(self) -> int:
+        """Number of element nodes in the subtree rooted here."""
+        return self.end - self.start + 1
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRecord:
+    """An element node of a parsed document.
+
+    ``node_id`` equals the node's pre-order ``start`` position, which
+    makes it both a stable identifier and the sort key for document
+    order.  ``text`` collects the immediate character data of the
+    element (concatenated, stripped); ``attributes`` holds XML
+    attributes.  ``parent_id`` is ``-1`` for the document root.
+    """
+
+    node_id: int
+    tag: str
+    region: Region
+    parent_id: int = -1
+    text: str = ""
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.node_id != self.region.start:
+            raise ValueError("node_id must equal the region start position")
+        if not self.tag:
+            raise ValueError("element tag must be non-empty")
+
+    @property
+    def start(self) -> int:
+        return self.region.start
+
+    @property
+    def end(self) -> int:
+        return self.region.end
+
+    @property
+    def level(self) -> int:
+        return self.region.level
+
+    def is_ancestor_of(self, other: "NodeRecord") -> bool:
+        return self.region.is_ancestor_of(other.region)
+
+    def is_parent_of(self, other: "NodeRecord") -> bool:
+        return self.region.is_parent_of(other.region)
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        return self.attributes.get(name, default)
+
+    def sort_key(self) -> tuple[int, int]:
+        """Document-order sort key (start position breaks all ties)."""
+        return (self.region.start, self.region.end)

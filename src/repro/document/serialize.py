@@ -1,0 +1,71 @@
+"""Serialize a region-encoded document back to XML text.
+
+The serializer is the inverse of :func:`repro.document.parse_xml` up to
+whitespace: ``parse_xml(serialize(doc))`` yields a document with the
+same node table (tags, attributes, stripped text, regions).  It is used
+by tests as a round-trip oracle and by examples to materialize the
+synthetic data sets.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.document.document import XmlDocument
+from repro.document.node import NodeRecord
+
+_ESCAPES_TEXT = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ESCAPES_ATTR = _ESCAPES_TEXT + [('"', "&quot;")]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for char, replacement in _ESCAPES_TEXT:
+        value = value.replace(char, replacement)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for char, replacement in _ESCAPES_ATTR:
+        value = value.replace(char, replacement)
+    return value
+
+
+def _open_tag(node: NodeRecord) -> str:
+    parts = [node.tag]
+    parts.extend(f'{name}="{escape_attribute(value)}"'
+                 for name, value in node.attributes.items())
+    return "<" + " ".join(parts)
+
+
+def serialize(document: XmlDocument, indent: int = 2) -> str:
+    """Render *document* as pretty-printed XML text."""
+    lines: list[str] = []
+    _serialize_node(document, document.root, indent, lines)
+    return "\n".join(lines) + "\n"
+
+
+def _serialize_node(document: XmlDocument, node: NodeRecord,
+                    indent: int, lines: list[str]) -> None:
+    pad = " " * (indent * node.level)
+    children = document.children(node)
+    open_tag = _open_tag(node)
+    if not children and not node.text:
+        lines.append(f"{pad}{open_tag}/>")
+    elif not children:
+        lines.append(f"{pad}{open_tag}>{escape_text(node.text)}"
+                     f"</{node.tag}>")
+    else:
+        lines.append(f"{pad}{open_tag}>")
+        if node.text:
+            lines.append(f"{pad}{' ' * indent}{escape_text(node.text)}")
+        for child in children:
+            _serialize_node(document, child, indent, lines)
+        lines.append(f"{pad}</{node.tag}>")
+
+
+def write_xml(document: XmlDocument, stream: IO[str], indent: int = 2) -> None:
+    """Write *document* as XML to a text stream."""
+    stream.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+    stream.write(serialize(document, indent=indent))

@@ -1,0 +1,38 @@
+"""Physical execution engine.
+
+Volcano-style iterator operators over streams of pattern-match tuples:
+index scans feed Stack-Tree structural joins, with blocking sorts
+inserted where a plan demands a re-ordering.  Every operator reports
+its work (index items, stack operations, buffered results, sorted
+items) into a shared :class:`~repro.engine.metrics.ExecutionMetrics`,
+which converts the counts into *simulated seconds* using the same cost
+factors the optimizer plans with.
+"""
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.tuples import MatchTuple, Schema
+from repro.engine.executor import ExecutionResult, Executor, EngineContext
+from repro.engine.nestedloop import (naive_pattern_matches,
+                                     navigational_matches)
+from repro.engine.twigstack import TwigStackMatcher, holistic_matches
+from repro.engine.valuejoin import (ValueJoin, ValueJoinResult,
+                                    group_counts, group_matches)
+from repro.engine.executor import FirstResultTiming
+
+__all__ = [
+    "TwigStackMatcher",
+    "holistic_matches",
+    "ValueJoin",
+    "ValueJoinResult",
+    "group_counts",
+    "group_matches",
+    "FirstResultTiming",
+    "ExecutionMetrics",
+    "MatchTuple",
+    "Schema",
+    "ExecutionResult",
+    "Executor",
+    "EngineContext",
+    "naive_pattern_matches",
+    "navigational_matches",
+]

@@ -1,0 +1,32 @@
+"""Shared execution context: storage handles + metrics."""
+
+from __future__ import annotations
+
+from repro.core.cost import CostFactors
+from repro.document.document import XmlDocument
+from repro.engine.metrics import ExecutionMetrics
+from repro.storage.store import ElementStore
+from repro.storage.tagindex import TagIndex
+
+
+class EngineContext:
+    """Everything an operator tree needs to run.
+
+    ``document`` is optional: when present, predicate evaluation reads
+    node text/attributes from it directly; otherwise the element store
+    is consulted (paying buffer-pool I/O, as a real system would).
+    """
+
+    def __init__(self, tag_index: TagIndex,
+                 element_store: ElementStore | None = None,
+                 document: XmlDocument | None = None,
+                 factors: CostFactors | None = None) -> None:
+        self.tag_index = tag_index
+        self.element_store = element_store
+        self.document = document
+        self.metrics = ExecutionMetrics(factors=factors or CostFactors())
+
+    def fresh_metrics(self) -> ExecutionMetrics:
+        """Reset and return the metrics object for a new run."""
+        self.metrics = ExecutionMetrics(factors=self.metrics.factors)
+        return self.metrics

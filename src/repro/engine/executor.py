@@ -1,0 +1,142 @@
+"""Plan execution: physical plan tree -> operator tree -> results.
+
+The :class:`Executor` walks a :class:`~repro.core.plans.PhysicalPlan`,
+instantiates the matching operators against an
+:class:`~repro.engine.context.EngineContext`, runs the root to
+completion, and returns an :class:`ExecutionResult` bundling the match
+tuples, the output schema, the work counters, and wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.core.pattern import QueryPattern
+from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
+                              SortPlan, StructuralJoinPlan)
+from repro.document.node import Region
+from repro.engine.context import EngineContext
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.nestedloop import NestedLoopJoin
+from repro.engine.operators import Operator
+from repro.engine.scan import IndexScan
+from repro.engine.sort import SortOperator
+from repro.engine.stackjoin import StackTreeAncJoin, StackTreeDescJoin
+from repro.engine.tuples import MatchTuple, Schema
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one plan execution produced."""
+
+    tuples: list[MatchTuple]
+    schema: Schema
+    metrics: ExecutionMetrics
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def bindings(self) -> list[dict[int, Region]]:
+        """Results as binding dicts (pattern node id -> region)."""
+        return [dict(zip(self.schema.node_ids, match))
+                for match in self.tuples]
+
+    def canonical(self) -> set[tuple[int, ...]]:
+        """Order-independent identity set (for result comparison)."""
+        return {self.schema.canonical_key(match) for match in self.tuples}
+
+    @property
+    def simulated_cost(self) -> float:
+        return self.metrics.simulated_cost()
+
+
+@dataclass
+class FirstResultTiming:
+    """Latency profile of a streaming execution.
+
+    The paper motivates FP plans by their ability to "produce the
+    initial result tuples quickly ... desirable in many applications,
+    such as online querying" (Sec. 3.4).  ``first_seconds`` is the
+    time until the requested number of results has been produced;
+    ``total_seconds`` the time to drain the plan completely.
+    """
+
+    first_seconds: float
+    total_seconds: float
+    first_count: int
+    total_count: int
+
+
+class Executor:
+    """Builds and drives operator trees for one engine context."""
+
+    def __init__(self, context: EngineContext, pattern: QueryPattern) -> None:
+        self.context = context
+        self.pattern = pattern
+
+    def build(self, plan: PhysicalPlan) -> Operator:
+        """Translate a plan subtree into an operator subtree."""
+        if isinstance(plan, IndexScanPlan):
+            return IndexScan(self.pattern.node(plan.node_id), self.context)
+        if isinstance(plan, SortPlan):
+            return SortOperator(self.build(plan.child), plan.by_node)
+        if isinstance(plan, StructuralJoinPlan):
+            ancestor = self.build(plan.ancestor_plan)
+            descendant = self.build(plan.descendant_plan)
+            if plan.algorithm is JoinAlgorithm.STACK_TREE_ANC:
+                return StackTreeAncJoin(ancestor, descendant,
+                                        plan.ancestor_node,
+                                        plan.descendant_node, plan.axis)
+            if plan.algorithm is JoinAlgorithm.STACK_TREE_DESC:
+                return StackTreeDescJoin(ancestor, descendant,
+                                         plan.ancestor_node,
+                                         plan.descendant_node, plan.axis)
+            return NestedLoopJoin(ancestor, descendant, plan.ancestor_node,
+                                  plan.descendant_node, plan.axis)
+        raise PlanError(f"unknown plan node type {type(plan).__name__}")
+
+    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+        """Run *plan* to completion with fresh metrics."""
+        metrics = self.context.fresh_metrics()
+        pool = self.context.tag_index.pool
+        io_before = pool.disk.stats.snapshot()
+        hits_before = pool.stats.hits
+        misses_before = pool.stats.misses
+        root = self.build(plan)
+        started = time.perf_counter()
+        tuples = list(root.run())
+        metrics.wall_seconds = time.perf_counter() - started
+        metrics.page_reads = pool.disk.stats.reads - io_before.reads
+        metrics.page_writes = pool.disk.stats.writes - io_before.writes
+        metrics.buffer_hits = pool.stats.hits - hits_before
+        metrics.buffer_misses = pool.stats.misses - misses_before
+        return ExecutionResult(tuples=tuples, schema=root.schema,
+                               metrics=metrics)
+
+    def time_to_first(self, plan: PhysicalPlan,
+                      results: int = 1) -> FirstResultTiming:
+        """Measure result latency: blocking operators delay the first
+        tuple, pipelined plans deliver it almost immediately."""
+        self.context.fresh_metrics()
+        root = self.build(plan)
+        stream = root.run()
+        started = time.perf_counter()
+        produced = 0
+        first_seconds = 0.0
+        for _ in stream:
+            produced += 1
+            if produced == results:
+                first_seconds = time.perf_counter() - started
+                break
+        first_count = produced
+        if produced < results:
+            first_seconds = time.perf_counter() - started
+        for _ in stream:
+            produced += 1
+        total_seconds = time.perf_counter() - started
+        return FirstResultTiming(first_seconds=first_seconds,
+                                 total_seconds=total_seconds,
+                                 first_count=first_count,
+                                 total_count=produced)

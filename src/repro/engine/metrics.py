@@ -1,0 +1,81 @@
+"""Execution metrics and simulated cost.
+
+Counters mirror the four cost-model operations of Sec. 2.2.2 so that a
+measured run can be expressed in the same cost units the optimizer
+planned with:
+
+* ``index_items``     — postings fetched by index scans  (x ``f_I``)
+* ``sort_units``      — accumulated ``n * log2 n`` over all sorts
+  (x ``f_s``)
+* ``buffered_results``— result pairs buffered by Stack-Tree-Anc; each
+  is written and re-read, hence the factor 2 (x ``f_IO``)
+* ``stack_tuple_ops`` — ancestor-side tuples pushed through join
+  stacks; each is pushed and popped, hence the factor 2 (x ``f_st``)
+
+Page-level I/O from the storage layer is reported alongside for
+diagnostics but not double-charged into the simulated cost (index
+postings are already costed per item, as the paper does).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.cost import CostFactors
+
+
+@dataclass
+class ExecutionMetrics:
+    """Work counters for one plan execution."""
+
+    index_items: int = 0
+    sort_units: float = 0.0
+    sorted_items: int = 0
+    sort_count: int = 0
+    buffered_results: int = 0
+    stack_tuple_ops: int = 0
+    output_tuples: int = 0
+    join_count: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    wall_seconds: float = 0.0
+    factors: CostFactors = field(default_factory=CostFactors)
+
+    def record_sort(self, items: int) -> None:
+        self.sort_count += 1
+        self.sorted_items += items
+        if items > 1:
+            self.sort_units += items * math.log2(items)
+
+    def simulated_cost(self) -> float:
+        """Measured work expressed in the optimizer's cost units."""
+        return (self.factors.f_index * self.index_items
+                + self.factors.f_sort * self.sort_units
+                + self.factors.f_io * 2.0 * self.buffered_results
+                + self.factors.f_stack * 2.0 * self.stack_tuple_ops)
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        """Accumulate counters from another run (for aggregate reports)."""
+        self.index_items += other.index_items
+        self.sort_units += other.sort_units
+        self.sorted_items += other.sorted_items
+        self.sort_count += other.sort_count
+        self.buffered_results += other.buffered_results
+        self.stack_tuple_ops += other.stack_tuple_ops
+        self.output_tuples += other.output_tuples
+        self.join_count += other.join_count
+        self.page_reads += other.page_reads
+        self.page_writes += other.page_writes
+        self.buffer_hits += other.buffer_hits
+        self.buffer_misses += other.buffer_misses
+        self.wall_seconds += other.wall_seconds
+
+    def summary(self) -> str:
+        return (f"index={self.index_items} sorts={self.sort_count}"
+                f"({self.sorted_items} items) "
+                f"buffered={self.buffered_results} "
+                f"stack={self.stack_tuple_ops} out={self.output_tuples} "
+                f"cost={self.simulated_cost():.1f}")

@@ -1,0 +1,56 @@
+"""Index scan operator.
+
+Retrieves the candidate set of one pattern node from the tag index (in
+document order), applies the node's value predicates, and emits
+single-binding tuples.  Retrieval is charged per posting
+(``index_items``), matching the paper's ``f_I * n`` index-access cost;
+predicate evaluation fetches element payloads through the element
+store's buffer pool when no in-memory document is available.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.errors import PlanError
+from repro.core.pattern import PatternNode
+from repro.engine.context import EngineContext
+from repro.engine.operators import Operator
+from repro.engine.tuples import MatchTuple, Schema
+
+
+class IndexScan(Operator):
+    """Leaf operator: candidates of one pattern node, document order."""
+
+    def __init__(self, pattern_node: PatternNode,
+                 context: EngineContext) -> None:
+        super().__init__(Schema((pattern_node.node_id,)),
+                         pattern_node.node_id, context.metrics)
+        self.pattern_node = pattern_node
+        self.context = context
+
+    def _postings(self):
+        index = self.context.tag_index
+        if self.pattern_node.is_wildcard:
+            streams = [index.scan(tag) for tag in index.tags()]
+            return heapq.merge(*streams, key=lambda region: region.start)
+        return index.scan(self.pattern_node.tag)
+
+    def _produce(self) -> Iterator[MatchTuple]:
+        needs_payload = bool(self.pattern_node.predicates)
+        for region in self._postings():
+            self.metrics.index_items += 1
+            if needs_payload and not self._payload_matches(region):
+                continue
+            yield (region,)
+
+    def _payload_matches(self, region) -> bool:
+        if self.context.document is not None:
+            node = self.context.document.node(region.start)
+        elif self.context.element_store is not None:
+            node = self.context.element_store.fetch_node(region.start)
+        else:
+            raise PlanError(
+                "predicate evaluation needs a document or element store")
+        return self.pattern_node.matches(node)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.  Subsystems raise
+the more specific subclasses below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DocumentError(ReproError):
+    """A document is malformed or an operation on it is invalid."""
+
+
+class XmlParseError(DocumentError):
+    """Raised by the XML parser on malformed input.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending input, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class StorageError(ReproError):
+    """Raised on storage-layer failures (page, buffer pool, disk)."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit in the remaining free space of a page."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer pool misuse (e.g. all frames pinned, double unpin)."""
+
+
+class PatternError(ReproError):
+    """A query pattern is malformed (cycle, disconnected, bad reference)."""
+
+
+class XPathSyntaxError(ReproError):
+    """Raised by the XPath front-end on unsupported or malformed syntax.
+
+    Attributes
+    ----------
+    position:
+        0-based character offset of the offending token, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class OptimizerError(ReproError):
+    """Raised when plan enumeration fails or is misconfigured."""
+
+
+class PlanError(ReproError):
+    """A physical plan is structurally invalid or cannot be executed."""
+
+
+class EstimationError(ReproError):
+    """Raised by cardinality estimators on invalid requests."""

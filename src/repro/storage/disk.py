@@ -1,0 +1,162 @@
+"""Disk managers: page-granularity persistence with I/O accounting.
+
+Two implementations share the :class:`DiskManager` interface:
+
+* :class:`InMemoryDisk` — a dict of page images; the default for tests
+  and benchmarks.  "I/O" is still counted, which is what the cost model
+  consumes.
+* :class:`FileDisk` — a real file of 8 KiB pages, for persistence
+  examples and to keep the storage layer honest about serialization.
+
+Both count physical reads and writes in :class:`IOStats`; the buffer
+pool sits on top and adds hit/miss accounting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.pages import PAGE_SIZE, Page
+
+
+@dataclass
+class IOStats:
+    """Physical I/O counters for one disk manager."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.reads, self.writes, self.allocations)
+
+
+class DiskManager:
+    """Interface for page-granularity storage."""
+
+    def __init__(self) -> None:
+        self.stats = IOStats()
+
+    def allocate(self) -> int:
+        """Reserve a new page; returns its page id."""
+        raise NotImplementedError
+
+    def read_page(self, page_id: int) -> Page:
+        raise NotImplementedError
+
+    def write_page(self, page: Page) -> None:
+        raise NotImplementedError
+
+    @property
+    def page_count(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further use is an error for file disks."""
+
+
+class InMemoryDisk(DiskManager):
+    """Disk manager backed by a dict of page images."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pages: dict[int, bytes] = {}
+        self._next_page_id = 0
+
+    def allocate(self) -> int:
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self._pages[page_id] = bytes(PAGE_SIZE)
+        self.stats.allocations += 1
+        return page_id
+
+    def read_page(self, page_id: int) -> Page:
+        if page_id not in self._pages:
+            raise StorageError(f"page {page_id} was never allocated")
+        self.stats.reads += 1
+        return Page(page_id, bytearray(self._pages[page_id]))
+
+    def write_page(self, page: Page) -> None:
+        if page.page_id not in self._pages:
+            raise StorageError(f"page {page.page_id} was never allocated")
+        self.stats.writes += 1
+        self._pages[page.page_id] = page.to_bytes()
+        page.dirty = False
+
+    @property
+    def page_count(self) -> int:
+        return self._next_page_id
+
+
+class FileDisk(DiskManager):
+    """Disk manager backed by a single file of fixed-size pages."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        super().__init__()
+        self._path = os.fspath(path)
+        exists = os.path.exists(self._path)
+        self._file = open(self._path, "r+b" if exists else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE:
+            raise StorageError(
+                f"{self._path} is not a whole number of pages")
+        self._next_page_id = size // PAGE_SIZE
+        self._closed = False
+
+    def allocate(self) -> int:
+        self._check_open()
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self._file.seek(page_id * PAGE_SIZE)
+        self._file.write(bytes(PAGE_SIZE))
+        self.stats.allocations += 1
+        return page_id
+
+    def read_page(self, page_id: int) -> Page:
+        self._check_open()
+        if not 0 <= page_id < self._next_page_id:
+            raise StorageError(f"page {page_id} was never allocated")
+        self._file.seek(page_id * PAGE_SIZE)
+        data = self._file.read(PAGE_SIZE)
+        self.stats.reads += 1
+        return Page(page_id, bytearray(data))
+
+    def write_page(self, page: Page) -> None:
+        self._check_open()
+        if not 0 <= page.page_id < self._next_page_id:
+            raise StorageError(f"page {page.page_id} was never allocated")
+        self._file.seek(page.page_id * PAGE_SIZE)
+        self._file.write(page.to_bytes())
+        self.stats.writes += 1
+        page.dirty = False
+
+    @property
+    def page_count(self) -> int:
+        return self._next_page_id
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("disk manager is closed")
+
+    def __enter__(self) -> "FileDisk":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

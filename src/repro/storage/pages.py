@@ -1,0 +1,100 @@
+"""Fixed-size page layout with a slotted record area.
+
+A :class:`Page` is an 8 KiB byte buffer organized as a classic slotted
+page: a small header, a slot directory growing from the front, and
+record payloads growing from the back.  Records are opaque byte strings
+to this layer; the element store and tag index define their own record
+encodings on top.
+
+Layout::
+
+    0..2    number of slots (uint16)
+    2..4    free-space pointer (uint16, offset of the byte *after* the
+            last free byte, i.e. start of the record heap)
+    4..     slot directory: (offset uint16, length uint16) per slot
+    ...     free space
+    ...     record payloads (packed towards PAGE_SIZE)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import PageFullError, StorageError
+
+PAGE_SIZE = 8192
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+
+
+class Page:
+    """One fixed-size slotted page."""
+
+    def __init__(self, page_id: int, data: bytearray | None = None) -> None:
+        self.page_id = page_id
+        if data is None:
+            self.data = bytearray(PAGE_SIZE)
+            _HEADER.pack_into(self.data, 0, 0, PAGE_SIZE)
+        else:
+            if len(data) != PAGE_SIZE:
+                raise StorageError(
+                    f"page data must be exactly {PAGE_SIZE} bytes")
+            self.data = bytearray(data)
+        self.dirty = False
+
+    # -- header helpers ---------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @property
+    def _heap_start(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[1]
+
+    def _set_header(self, slots: int, heap_start: int) -> None:
+        _HEADER.pack_into(self.data, 0, slots, heap_start)
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record (payload + slot entry)."""
+        directory_end = _HEADER.size + self.slot_count * _SLOT.size
+        free = self._heap_start - directory_end - _SLOT.size
+        return max(free, 0)
+
+    # -- record access ------------------------------------------------------
+
+    def insert(self, payload: bytes) -> int:
+        """Append a record; returns its slot number."""
+        if len(payload) > self.free_space:
+            raise PageFullError(
+                f"record of {len(payload)} bytes does not fit "
+                f"(free: {self.free_space})")
+        slots = self.slot_count
+        heap_start = self._heap_start - len(payload)
+        self.data[heap_start:heap_start + len(payload)] = payload
+        _SLOT.pack_into(self.data, _HEADER.size + slots * _SLOT.size,
+                        heap_start, len(payload))
+        self._set_header(slots + 1, heap_start)
+        self.dirty = True
+        return slots
+
+    def record(self, slot: int) -> bytes:
+        """Return the payload of a slot."""
+        if not 0 <= slot < self.slot_count:
+            raise StorageError(
+                f"slot {slot} out of range (page has {self.slot_count})")
+        offset, length = _SLOT.unpack_from(
+            self.data, _HEADER.size + slot * _SLOT.size)
+        return bytes(self.data[offset:offset + length])
+
+    def records(self) -> list[bytes]:
+        """All record payloads in insertion order."""
+        return [self.record(slot) for slot in range(self.slot_count)]
+
+    def to_bytes(self) -> bytes:
+        return bytes(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Page(id={self.page_id}, slots={self.slot_count}, "
+                f"free={self.free_space})")

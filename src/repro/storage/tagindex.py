@@ -1,0 +1,122 @@
+"""Tag index: tag name -> paged posting list of region encodings.
+
+This is the access method behind the paper's "index access" operation
+(cost ``f_I * n`` for retrieving *n* items, Sec. 2.2.2).  Each posting
+entry carries the full region encoding ``(start, end, level)`` plus the
+node id, so a structural join can run off index output alone; the
+element store is consulted only when a value predicate needs the
+element's text or attributes.
+
+Posting lists are stored in pages (one chain of pages per tag, entries
+in document order) and read back through the buffer pool, so every
+index scan is visible to the I/O counters.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.document.document import XmlDocument
+from repro.document.node import NodeRecord, Region
+from repro.storage.buffer import BufferPool
+
+_ENTRY = struct.Struct("<IIH")
+
+
+class TagIndex:
+    """Inverted index from element tag to its document-ordered postings."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self.pool = pool
+        # tag -> list of page ids holding that tag's postings, in order.
+        self._page_chains: dict[str, list[int]] = {}
+        self._counts: dict[str, int] = {}
+        # tail page of each tag's chain, for appends.
+        self._tail: dict[str, int] = {}
+
+    # -- build --------------------------------------------------------------
+
+    def index_document(self, document: XmlDocument) -> None:
+        """Add every element of *document* to the index."""
+        for node in document:
+            self.add(node)
+        self.pool.flush()
+
+    def add(self, node: NodeRecord) -> None:
+        """Append one posting.  Nodes must arrive in document order."""
+        payload = _ENTRY.pack(node.start, node.end, node.level)
+        tag = node.tag
+        tail_id = self._tail.get(tag)
+        if tail_id is not None:
+            page = self.pool.fetch(tail_id)
+            if page.free_space >= len(payload):
+                last = page.record(page.slot_count - 1)
+                if _ENTRY.unpack(last)[0] >= node.start:
+                    self.pool.unpin(tail_id)
+                    raise StorageError(
+                        "postings must be added in document order")
+                page.insert(payload)
+                self.pool.unpin(tail_id, dirty=True)
+                self._counts[tag] += 1
+                return
+            self.pool.unpin(tail_id)
+        page = self.pool.new_page()
+        page.insert(payload)
+        self.pool.unpin(page.page_id, dirty=True)
+        self._page_chains.setdefault(tag, []).append(page.page_id)
+        self._tail[tag] = page.page_id
+        self._counts[tag] = self._counts.get(tag, 0) + 1
+
+    # -- read ----------------------------------------------------------------
+
+    def tags(self) -> list[str]:
+        return sorted(self._page_chains)
+
+    def count(self, tag: str) -> int:
+        """Number of postings for *tag* (0 if absent)."""
+        return self._counts.get(tag, 0)
+
+    def scan(self, tag: str) -> Iterator[Region]:
+        """Yield the postings of *tag* in document order."""
+        for page_id in self._page_chains.get(tag, ()):
+            page = self.pool.fetch(page_id)
+            try:
+                payloads = page.records()
+            finally:
+                self.pool.unpin(page_id)
+            for payload in payloads:
+                start, end, level = _ENTRY.unpack(payload)
+                yield Region(start, end, level)
+
+    def regions(self, tag: str) -> list[Region]:
+        """The full posting list of *tag* as a list."""
+        return list(self.scan(tag))
+
+    def chains(self) -> dict[str, list[int]]:
+        """Per-tag page chains (persisted in the catalog)."""
+        return {tag: list(chain)
+                for tag, chain in self._page_chains.items()}
+
+    def counts(self) -> dict[str, int]:
+        """Per-tag posting counts (persisted in the catalog)."""
+        return dict(self._counts)
+
+    @classmethod
+    def attach(cls, pool: BufferPool, chains: dict[str, list[int]],
+               counts: dict[str, int]) -> "TagIndex":
+        """Rebuild an index from its catalog entry (database reopen)."""
+        index = cls(pool)
+        index._page_chains = {tag: list(chain)
+                              for tag, chain in chains.items()}
+        index._counts = dict(counts)
+        index._tail = {tag: chain[-1]
+                       for tag, chain in chains.items() if chain}
+        return index
+
+    def page_count(self, tag: str | None = None) -> int:
+        """Pages used by one tag's chain, or by the whole index."""
+        if tag is not None:
+            return len(self._page_chains.get(tag, ()))
+        return sum(len(chain) for chain in self._page_chains.values())

@@ -1,0 +1,33 @@
+"""Benchmark workloads: synthetic data sets and the paper's queries.
+
+The paper evaluates on three data sets — Mbench, DBLP and the AT&T
+``Pers`` personnel data — none of which ship with this reproduction.
+Each generator here produces a deterministic synthetic document with
+the same structural character (depth, fan-out, tag-frequency skew) at a
+configurable size, so the experiments exercise the same optimizer
+behaviour.  ``queries`` defines the four pattern shapes of Fig. 6 and
+the eight queries of Table 1.
+"""
+
+from repro.workloads.personnel import personnel_document
+from repro.workloads.dblp import dblp_document
+from repro.workloads.mbench import mbench_document
+from repro.workloads.folding import fold_document
+from repro.workloads.queries import (PAPER_QUERIES, PATTERN_SHAPES,
+                                     PaperQuery, build_shape,
+                                     dataset_document, paper_query,
+                                     pattern_for)
+
+__all__ = [
+    "personnel_document",
+    "dblp_document",
+    "mbench_document",
+    "fold_document",
+    "PAPER_QUERIES",
+    "PATTERN_SHAPES",
+    "PaperQuery",
+    "build_shape",
+    "dataset_document",
+    "paper_query",
+    "pattern_for",
+]

@@ -1,0 +1,51 @@
+"""DBLP-like bibliography data set.
+
+The real DBLP XML is a shallow, very wide document: one root with
+hundreds of thousands of publication entries, each a small flat
+subtree.  This generator reproduces that character — entry-type skew
+(articles vs. inproceedings vs. books), multiple authors per entry,
+and citation sub-elements that give the data just enough depth for
+pattern shapes b and c.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.document.builder import DocumentBuilder
+from repro.document.document import XmlDocument
+from repro.workloads.generators import make_rng, paper_title, person_name
+
+_ENTRY_KINDS = ("article", "inproceedings", "book")
+_ENTRY_WEIGHTS = (0.55, 0.40, 0.05)
+_VENUES = ("ICDE", "SIGMOD", "VLDB", "EDBT", "CIKM", "PODS")
+
+
+def dblp_document(entries: int = 400, seed: int = 7) -> XmlDocument:
+    """Generate a bibliography with *entries* publication entries."""
+    rng = make_rng(seed)
+    builder = DocumentBuilder(name=f"dblp-{entries}-{seed}")
+    with builder.element("dblp"):
+        for number in range(entries):
+            kind = rng.choices(_ENTRY_KINDS, weights=_ENTRY_WEIGHTS)[0]
+            _entry(builder, rng, kind, number)
+    return builder.finish()
+
+
+def _entry(builder: DocumentBuilder, rng: random.Random, kind: str,
+           number: int) -> None:
+    year = str(rng.randint(1994, 2003))
+    with builder.element(kind, {"key": f"{kind}/{number}", "year": year}):
+        for _ in range(rng.randint(1, 3)):
+            builder.leaf("author", text=person_name(rng))
+        builder.leaf("title", text=paper_title(rng))
+        builder.leaf("year", text=year)
+        if kind == "article":
+            builder.leaf("journal", text=f"{rng.choice(_VENUES)} Journal")
+        elif kind == "inproceedings":
+            builder.leaf("booktitle", text=f"Proc. {rng.choice(_VENUES)}")
+        else:
+            builder.leaf("publisher", text="Example Press")
+        for _ in range(rng.randint(0, 3)):
+            with builder.element("cite"):
+                builder.leaf("label", text=f"ref{rng.randint(0, 999)}")

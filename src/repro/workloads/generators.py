@@ -1,0 +1,58 @@
+"""Shared utilities for the synthetic data generators.
+
+All generators are deterministic: the same (parameters, seed) always
+produces the identical document, which keeps benchmark results and
+tests reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+_FIRST_NAMES = (
+    "Ada", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Hugo",
+    "Iris", "Jack", "Kira", "Liam", "Mona", "Nils", "Olga", "Pete",
+    "Quinn", "Rosa", "Sam", "Tina", "Uma", "Vik", "Wen", "Xia",
+    "Yuri", "Zoe",
+)
+
+_LAST_NAMES = (
+    "Adams", "Baker", "Chen", "Diaz", "Evans", "Fischer", "Gupta",
+    "Hansen", "Ito", "Jones", "Kim", "Lopez", "Meyer", "Novak",
+    "Okafor", "Park", "Quist", "Rossi", "Silva", "Tanaka", "Ueda",
+    "Vance", "Weber", "Xu", "Young", "Zhang",
+)
+
+_TITLE_WORDS = (
+    "structural", "join", "order", "selection", "query", "optimization",
+    "index", "pattern", "tree", "stream", "holistic", "stack", "cost",
+    "model", "cardinality", "estimation", "pipelined", "bushy", "plan",
+    "pruning", "dynamic", "histogram", "region", "encoding", "twig",
+)
+
+_DEPARTMENT_NAMES = (
+    "Sales", "Research", "Engineering", "Support", "Marketing",
+    "Finance", "Operations", "Legal", "Design", "Quality",
+)
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def department_name(rng: random.Random) -> str:
+    return rng.choice(_DEPARTMENT_NAMES)
+
+
+def paper_title(rng: random.Random, words: int = 5) -> str:
+    return " ".join(rng.choice(_TITLE_WORDS)
+                    for _ in range(words)).capitalize()
+
+
+def phone_number(rng: random.Random) -> str:
+    return f"+1-{rng.randint(200, 999)}-{rng.randint(1000, 9999)}"
+
+
+def make_rng(seed: int) -> random.Random:
+    """A dedicated RNG so generators never share global state."""
+    return random.Random(seed)

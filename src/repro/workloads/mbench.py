@@ -1,0 +1,57 @@
+"""Mbench-like benchmark data set.
+
+The Michigan benchmark (Runapongsa et al.) stresses structural-join
+processing with a deeply recursive tree of ``eNest`` elements carrying
+numeric attributes (``aLevel``, ``aFour``, ``aSixteen``, ...) plus an
+occasional ``eOccasional`` element.  Self-joins on ``eNest`` at
+different attribute selectivities are exactly what the paper's
+Q.Mbench queries exercise.
+
+This generator reproduces the character: a recursive ``eNest`` tree
+whose fan-out shrinks with depth, with modular attributes and a ~25%
+chance of an ``eOccasional`` leaf under each node.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.document.builder import DocumentBuilder
+from repro.document.document import XmlDocument
+from repro.workloads.generators import make_rng
+
+
+def mbench_document(target_nodes: int = 3000, seed: int = 3,
+                    max_depth: int = 12) -> XmlDocument:
+    """Generate an Mbench-like document of roughly *target_nodes* nodes."""
+    rng = make_rng(seed)
+    builder = DocumentBuilder(name=f"mbench-{target_nodes}-{seed}")
+    counter = [0]
+    _nest(builder, rng, level=1, max_depth=max_depth,
+          budget=target_nodes, counter=counter)
+    return builder.finish()
+
+
+def _nest(builder: DocumentBuilder, rng: random.Random, level: int,
+          max_depth: int, budget: int, counter: list[int]) -> None:
+    serial = counter[0]
+    counter[0] += 1
+    attributes = {
+        "aUnique": str(serial),
+        "aLevel": str(level),
+        "aFour": str(serial % 4),
+        "aSixteen": str(serial % 16),
+        "aSixtyFour": str(serial % 64),
+    }
+    with builder.element("eNest", attributes):
+        if rng.random() < 0.25:
+            builder.leaf("eOccasional", {"aRef": str(rng.randint(0, 63))},
+                         text=str(serial))
+        if level >= max_depth or builder.size >= budget:
+            return
+        # wide near the root, narrowing with depth — Mbench's shape
+        fanout = max(1, rng.randint(1, max(1, 5 - level // 3)))
+        for _ in range(fanout):
+            if builder.size >= budget:
+                return
+            _nest(builder, rng, level + 1, max_depth, budget, counter)

@@ -1,0 +1,73 @@
+"""Pers-like personnel data set.
+
+Models the AT&T synthetic personnel data used by the paper (and by the
+structural-join paper it builds on): a recursively nested management
+hierarchy.  Managers contain a name and email, supervise employees and
+departments, and may have subordinate managers — which is exactly the
+recursive structure the running example (Fig. 1) queries: manager //
+employee / name alongside manager // manager / department / name.
+
+The generator grows top-level manager subtrees under a ``company``
+root until the requested node budget is reached.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.document.builder import DocumentBuilder
+from repro.document.document import XmlDocument
+from repro.workloads.generators import (department_name, make_rng,
+                                        person_name, phone_number)
+
+
+def personnel_document(target_nodes: int = 2000, seed: int = 42,
+                       max_depth: int = 3) -> XmlDocument:
+    """Generate a personnel document with roughly *target_nodes* nodes.
+
+    ``max_depth`` bounds the manager-within-manager nesting (the
+    document is deeper than that in element levels, since employees and
+    departments add levels of their own).
+    """
+    rng = make_rng(seed)
+    builder = DocumentBuilder(name=f"pers-{target_nodes}-{seed}")
+    builder.start_element("company")
+    while builder.size < target_nodes:
+        _manager(builder, rng, depth=0, max_depth=max_depth,
+                 budget=target_nodes)
+    builder.end_element("company")
+    return builder.finish()
+
+
+def _manager(builder: DocumentBuilder, rng: random.Random, depth: int,
+             max_depth: int, budget: int) -> None:
+    with builder.element("manager", {"id": f"m{builder.size}"}):
+        builder.leaf("name", text=person_name(rng))
+        builder.leaf("email", text=f"m{builder.size}@example.com")
+        for _ in range(rng.randint(1, 3)):
+            if builder.size >= budget:
+                break
+            _employee(builder, rng)
+        for _ in range(rng.randint(0, 2)):
+            if builder.size >= budget:
+                break
+            _department(builder, rng)
+        if depth < max_depth:
+            for _ in range(rng.randint(0, 2)):
+                if builder.size >= budget:
+                    break
+                _manager(builder, rng, depth + 1, max_depth, budget)
+
+
+def _employee(builder: DocumentBuilder, rng: random.Random) -> None:
+    with builder.element("employee", {"id": f"e{builder.size}"}):
+        builder.leaf("name", text=person_name(rng))
+        if rng.random() < 0.5:
+            builder.leaf("phone", text=phone_number(rng))
+
+
+def _department(builder: DocumentBuilder, rng: random.Random) -> None:
+    with builder.element("department", {"id": f"d{builder.size}"}):
+        builder.leaf("name", text=department_name(rng))
+        for _ in range(rng.randint(0, 2)):
+            _employee(builder, rng)

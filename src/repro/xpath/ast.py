@@ -1,0 +1,53 @@
+"""AST for the XPath subset.
+
+The AST is deliberately close to the tree-pattern model: a
+:class:`LocationPath` is a list of :class:`Step`, each step carrying a
+name test, value comparisons, and nested path predicates (which become
+branches of the pattern tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ValueComparison:
+    """``text() = 'x'``, ``@year >= '2000'``, or bare ``. = 'x'``."""
+
+    subject: str  # "text" or "attribute"
+    op: str
+    value: str
+    attribute: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class PathPredicate:
+    """An existential nested path (``[.//a/b]``), optionally with a
+    trailing comparison applied to its last step."""
+
+    path: "LocationPath"
+    comparison: ValueComparison | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One location step: axis + name test + predicates."""
+
+    axis: str  # "child" or "descendant"
+    name: str  # tag name or "*"
+    comparisons: tuple[ValueComparison, ...] = ()
+    paths: tuple[PathPredicate, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class LocationPath:
+    """A sequence of steps; ``absolute`` is True for paths from the
+    document root."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a location path needs at least one step")

@@ -1,0 +1,115 @@
+"""Tokenizer for the XPath subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import XPathSyntaxError
+
+
+class TokenKind(enum.Enum):
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    NAME = "name"
+    STAR = "*"
+    LBRACKET = "["
+    RBRACKET = "]"
+    AT = "@"
+    DOT = "."
+    TEXT_FN = "text()"
+    OPERATOR = "op"
+    LITERAL = "literal"
+    NUMBER = "number"
+    AND = "and"
+    END = "end"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-._")
+_OPERATOR_STARTS = set("=!<>")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split an XPath string into tokens, ending with an END token."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char in " \t\r\n":
+            position += 1
+            continue
+        if char == "/":
+            if text.startswith("//", position):
+                tokens.append(Token(TokenKind.DOUBLE_SLASH, "//", position))
+                position += 2
+            else:
+                tokens.append(Token(TokenKind.SLASH, "/", position))
+                position += 1
+        elif char == "*":
+            tokens.append(Token(TokenKind.STAR, "*", position))
+            position += 1
+        elif char == "[":
+            tokens.append(Token(TokenKind.LBRACKET, "[", position))
+            position += 1
+        elif char == "]":
+            tokens.append(Token(TokenKind.RBRACKET, "]", position))
+            position += 1
+        elif char == "@":
+            tokens.append(Token(TokenKind.AT, "@", position))
+            position += 1
+        elif char == ".":
+            tokens.append(Token(TokenKind.DOT, ".", position))
+            position += 1
+        elif char in _OPERATOR_STARTS:
+            if text.startswith(("<=", ">=", "!="), position):
+                tokens.append(Token(TokenKind.OPERATOR,
+                                    text[position:position + 2], position))
+                position += 2
+            elif char == "!":
+                raise XPathSyntaxError("'!' must be followed by '='",
+                                       position)
+            else:
+                tokens.append(Token(TokenKind.OPERATOR, char, position))
+                position += 1
+        elif char in ("'", '"'):
+            end = text.find(char, position + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal",
+                                       position)
+            tokens.append(Token(TokenKind.LITERAL,
+                                text[position + 1:end], position))
+            position = end + 1
+        elif char.isdigit():
+            start = position
+            while position < length and (text[position].isdigit()
+                                         or text[position] == "."):
+                position += 1
+            tokens.append(Token(TokenKind.NUMBER, text[start:position],
+                                start))
+        elif char in _NAME_START:
+            start = position
+            while position < length and text[position] in _NAME_CHARS:
+                position += 1
+            name = text[start:position]
+            if name == "text" and text.startswith("()", position):
+                tokens.append(Token(TokenKind.TEXT_FN, "text()", start))
+                position += 2
+            elif name == "and":
+                tokens.append(Token(TokenKind.AND, "and", start))
+            else:
+                tokens.append(Token(TokenKind.NAME, name, start))
+        else:
+            raise XPathSyntaxError(f"unexpected character {char!r}",
+                                   position)
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens

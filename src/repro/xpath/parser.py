@@ -1,0 +1,203 @@
+"""Recursive-descent parser + pattern compiler for the XPath subset.
+
+:func:`parse_xpath` produces the AST; :func:`compile_xpath` lowers the
+AST into a :class:`~repro.core.pattern.QueryPattern`, mapping each step
+to a pattern node, ``/`` to CHILD edges, ``//`` to DESCENDANT edges,
+and nested path predicates to pattern-tree branches.  The result node
+of the outer path becomes the pattern's ``order_by`` node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.core.pattern import (Axis, PatternBuilder, Predicate,
+                                QueryPattern)
+from repro.xpath.ast import (LocationPath, PathPredicate, Step,
+                             ValueComparison)
+from repro.xpath.lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise XPathSyntaxError(
+                f"expected {kind.value!r}, found {token.value!r}",
+                token.position)
+        return self._advance()
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_path(self, absolute: bool = True) -> LocationPath:
+        steps = [self._parse_axis_and_step(first=True, absolute=absolute)]
+        while self._peek().kind in (TokenKind.SLASH,
+                                    TokenKind.DOUBLE_SLASH):
+            steps.append(self._parse_axis_and_step(first=False,
+                                                   absolute=absolute))
+        return LocationPath(tuple(steps), absolute=absolute)
+
+    def _parse_axis_and_step(self, first: bool, absolute: bool) -> Step:
+        token = self._peek()
+        if token.kind is TokenKind.DOUBLE_SLASH:
+            self._advance()
+            axis = "descendant"
+        elif token.kind is TokenKind.SLASH:
+            self._advance()
+            axis = "child"
+        elif first and not absolute:
+            # relative paths may start directly with a name test
+            axis = "child"
+        else:
+            raise XPathSyntaxError(
+                f"expected '/' or '//', found {token.value!r}",
+                token.position)
+        return self._parse_step(axis)
+
+    def _parse_step(self, axis: str) -> Step:
+        token = self._peek()
+        if token.kind is TokenKind.STAR:
+            self._advance()
+            name = "*"
+        elif token.kind is TokenKind.NAME:
+            name = self._advance().value
+        else:
+            raise XPathSyntaxError(
+                f"expected a name test, found {token.value!r}",
+                token.position)
+        comparisons: list[ValueComparison] = []
+        paths: list[PathPredicate] = []
+        while self._peek().kind is TokenKind.LBRACKET:
+            self._advance()
+            self._parse_predicate_body(comparisons, paths)
+            self._expect(TokenKind.RBRACKET)
+        return Step(axis, name, tuple(comparisons), tuple(paths))
+
+    def _parse_predicate_body(self, comparisons: list[ValueComparison],
+                              paths: list[PathPredicate]) -> None:
+        while True:
+            self._parse_predicate_term(comparisons, paths)
+            if self._peek().kind is TokenKind.AND:
+                self._advance()
+                continue
+            return
+
+    def _parse_predicate_term(self, comparisons: list[ValueComparison],
+                              paths: list[PathPredicate]) -> None:
+        token = self._peek()
+        if token.kind is TokenKind.AT:
+            self._advance()
+            attribute = self._expect(TokenKind.NAME).value
+            op, value = self._parse_comparison_tail()
+            comparisons.append(ValueComparison("attribute", op, value,
+                                               attribute))
+        elif token.kind is TokenKind.TEXT_FN:
+            self._advance()
+            op, value = self._parse_comparison_tail()
+            comparisons.append(ValueComparison("text", op, value))
+        elif token.kind is TokenKind.DOT:
+            self._advance()
+            next_token = self._peek()
+            if next_token.kind in (TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
+                self._parse_relative_path_predicate(paths)
+            else:
+                op, value = self._parse_comparison_tail()
+                comparisons.append(ValueComparison("text", op, value))
+        elif token.kind in (TokenKind.NAME, TokenKind.STAR,
+                            TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
+            self._parse_relative_path_predicate(paths)
+        else:
+            raise XPathSyntaxError(
+                f"unsupported predicate starting at {token.value!r}",
+                token.position)
+
+    def _parse_relative_path_predicate(self,
+                                       paths: list[PathPredicate]) -> None:
+        path = self.parse_path(absolute=False)
+        comparison: ValueComparison | None = None
+        if self._peek().kind is TokenKind.OPERATOR:
+            op, value = self._parse_comparison_tail()
+            comparison = ValueComparison("text", op, value)
+        paths.append(PathPredicate(path, comparison))
+
+    def _parse_comparison_tail(self) -> tuple[str, str]:
+        op = self._expect(TokenKind.OPERATOR).value
+        token = self._peek()
+        if token.kind in (TokenKind.LITERAL, TokenKind.NUMBER):
+            self._advance()
+            return op, token.value
+        raise XPathSyntaxError(
+            f"expected a literal, found {token.value!r}", token.position)
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse an XPath string into its AST."""
+    if not text.strip():
+        raise XPathSyntaxError("empty XPath expression")
+    parser = _Parser(tokenize(text))
+    path = parser.parse_path(absolute=True)
+    trailing = parser._peek()
+    if trailing.kind is not TokenKind.END:
+        raise XPathSyntaxError(
+            f"unexpected trailing input {trailing.value!r}",
+            trailing.position)
+    return path
+
+
+def compile_xpath(text: str,
+                  order_by_result: bool = True) -> QueryPattern:
+    """Compile an XPath string into a :class:`QueryPattern`.
+
+    When *order_by_result* is set (the default), the pattern's
+    ``order_by`` is the last step of the outer path — the nodes the
+    query actually returns.
+    """
+    path = parse_xpath(text)
+    builder = PatternBuilder()
+    result_node = _lower_path(builder, path, parent=None)
+    return builder.finish(order_by=result_node if order_by_result else None)
+
+
+def _lower_path(builder: PatternBuilder, path: LocationPath,
+                parent: int | None) -> int:
+    """Add a path's steps to the builder; returns the last step's node."""
+    current = parent
+    for step in path.steps:
+        predicates = tuple(
+            Predicate(kind=comparison.subject, op=comparison.op,
+                      value=comparison.value, name=comparison.attribute)
+            for comparison in step.comparisons)
+        node_id = builder.node(step.name, predicates)
+        if current is not None:
+            axis = (Axis.DESCENDANT if step.axis == "descendant"
+                    else Axis.CHILD)
+            builder.edge(current, node_id, axis)
+        for path_predicate in step.paths:
+            last = _lower_path(builder, path_predicate.path, node_id)
+            if path_predicate.comparison is not None:
+                _attach_comparison(builder, last, path_predicate.comparison)
+        current = node_id
+    assert current is not None
+    return current
+
+
+def _attach_comparison(builder: PatternBuilder, node_id: int,
+                       comparison: ValueComparison) -> None:
+    """Attach a trailing comparison (``[name = 'Ada']``) to the last
+    step of a nested path."""
+    builder.add_predicate(node_id, Predicate(
+        kind=comparison.subject, op=comparison.op,
+        value=comparison.value, name=comparison.attribute))

@@ -1,0 +1,107 @@
+"""Tests for the baseline evaluators and execution metrics."""
+
+import pytest
+
+from repro.core.cost import CostFactors
+from repro.core.pattern import QueryPattern
+from repro.document.parser import parse_xml
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.nestedloop import (naive_pattern_matches,
+                                     navigational_matches)
+
+
+@pytest.fixture
+def tiny_document():
+    return parse_xml(
+        "<r><a><b><c/></b><b/></a><a><c/><b><c/><c/></b></a></r>")
+
+
+@pytest.fixture
+def branching_pattern():
+    return QueryPattern.build({
+        "nodes": ["a", "b", "c"],
+        "edges": [(0, 1, "//"), (1, 2, "/")],
+    })
+
+
+class TestOracles:
+    def test_oracles_agree(self, tiny_document, branching_pattern):
+        naive = naive_pattern_matches(tiny_document, branching_pattern)
+        navigational = navigational_matches(tiny_document,
+                                            branching_pattern)
+        as_set = lambda matches: {
+            tuple(m[k].start for k in sorted(m)) for m in matches}
+        assert as_set(naive) == as_set(navigational)
+        assert len(naive) == len(navigational)
+
+    def test_branching_pattern_oracles(self, tiny_document):
+        pattern = QueryPattern.build({
+            "nodes": ["a", "b", "c"],
+            "edges": [(0, 1, "/"), (0, 2, "//")],
+        })
+        naive = naive_pattern_matches(tiny_document, pattern)
+        navigational = navigational_matches(tiny_document, pattern)
+        as_set = lambda matches: {
+            tuple(m[k].start for k in sorted(m)) for m in matches}
+        assert as_set(naive) == as_set(navigational)
+
+    def test_wildcard_pattern(self, tiny_document):
+        pattern = QueryPattern.build({
+            "nodes": ["*", "c"], "edges": [(0, 1, "/")]})
+        naive = naive_pattern_matches(tiny_document, pattern)
+        assert len(naive) == sum(
+            1 for c in tiny_document.nodes_with_tag("c")
+            for p in [tiny_document.parent(c)] if p is not None)
+
+    def test_no_matches(self, tiny_document, branching_pattern):
+        pattern = QueryPattern.build({
+            "nodes": ["c", "a"], "edges": [(0, 1, "//")]})
+        assert naive_pattern_matches(tiny_document, pattern) == []
+        assert navigational_matches(tiny_document, pattern) == []
+
+    def test_single_node_pattern(self, tiny_document):
+        pattern = QueryPattern.build({"nodes": ["b"], "edges": []})
+        assert len(naive_pattern_matches(tiny_document, pattern)) == \
+            tiny_document.tag_count("b")
+        assert len(navigational_matches(tiny_document, pattern)) == \
+            tiny_document.tag_count("b")
+
+
+class TestExecutionMetrics:
+    def test_simulated_cost_formula(self):
+        metrics = ExecutionMetrics(factors=CostFactors(
+            f_index=1.0, f_sort=2.0, f_io=16.0, f_stack=1.0))
+        metrics.index_items = 100
+        metrics.record_sort(8)  # 8 * log2(8) = 24 units
+        metrics.buffered_results = 50
+        metrics.stack_tuple_ops = 30
+        expected = (1.0 * 100 + 2.0 * 24 + 16.0 * 2 * 50 + 1.0 * 2 * 30)
+        assert metrics.simulated_cost() == pytest.approx(expected)
+
+    def test_record_sort_tracks_counts(self):
+        metrics = ExecutionMetrics()
+        metrics.record_sort(0)
+        metrics.record_sort(1)
+        metrics.record_sort(16)
+        assert metrics.sort_count == 3
+        assert metrics.sorted_items == 17
+        assert metrics.sort_units == pytest.approx(16 * 4)
+
+    def test_merge_accumulates(self):
+        first = ExecutionMetrics()
+        first.index_items = 5
+        first.output_tuples = 2
+        second = ExecutionMetrics()
+        second.index_items = 7
+        second.page_reads = 3
+        first.merge(second)
+        assert first.index_items == 12
+        assert first.page_reads == 3
+        assert first.output_tuples == 2
+
+    def test_summary_is_readable(self):
+        metrics = ExecutionMetrics()
+        metrics.index_items = 4
+        text = metrics.summary()
+        assert "index=4" in text
+        assert "cost=" in text

@@ -1,0 +1,123 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+
+
+@pytest.fixture
+def disk():
+    return InMemoryDisk()
+
+
+def make_pages(disk, count):
+    ids = []
+    for index in range(count):
+        page_id = disk.allocate()
+        from repro.storage.pages import Page
+
+        page = Page(page_id)
+        page.insert(f"page-{index}".encode())
+        disk.write_page(page)
+        ids.append(page_id)
+    return ids
+
+
+class TestBufferPool:
+    def test_fetch_reads_through(self, disk):
+        (page_id,) = make_pages(disk, 1)
+        pool = BufferPool(disk, capacity=2)
+        page = pool.fetch(page_id)
+        assert page.records() == [b"page-0"]
+        assert pool.stats.misses == 1
+
+    def test_hit_on_second_fetch(self, disk):
+        (page_id,) = make_pages(disk, 1)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch(page_id)
+        pool.unpin(page_id)
+        pool.fetch(page_id)
+        assert pool.stats.hits == 1
+        assert pool.stats.hit_rate == 0.5
+        assert disk.stats.reads == 1
+
+    def test_lru_eviction_order(self, disk):
+        ids = make_pages(disk, 3)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch(ids[0]); pool.unpin(ids[0])
+        pool.fetch(ids[1]); pool.unpin(ids[1])
+        pool.fetch(ids[0]); pool.unpin(ids[0])  # refresh 0
+        pool.fetch(ids[2]); pool.unpin(ids[2])  # evicts 1, not 0
+        assert pool.stats.evictions == 1
+        pool.fetch(ids[0])
+        assert pool.stats.hits == 2  # page 0 survived
+
+    def test_pinned_pages_not_evicted(self, disk):
+        ids = make_pages(disk, 3)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch(ids[0])  # stays pinned
+        pool.fetch(ids[1]); pool.unpin(ids[1])
+        pool.fetch(ids[2]); pool.unpin(ids[2])  # must evict 1
+        assert ids[0] in pool.pinned_pages()
+        pool.fetch(ids[0])
+        assert pool.stats.hits == 1
+
+    def test_all_pinned_raises(self, disk):
+        ids = make_pages(disk, 3)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1])
+        with pytest.raises(BufferPoolError, match="pinned"):
+            pool.fetch(ids[2])
+
+    def test_dirty_page_written_back_on_eviction(self, disk):
+        ids = make_pages(disk, 2)
+        pool = BufferPool(disk, capacity=1)
+        page = pool.fetch(ids[0])
+        page.insert(b"extra")
+        pool.unpin(ids[0], dirty=True)
+        pool.fetch(ids[1])  # evicts dirty page 0
+        assert disk.read_page(ids[0]).records() == [b"page-0", b"extra"]
+
+    def test_flush_writes_dirty_pages(self, disk):
+        (page_id,) = make_pages(disk, 1)
+        pool = BufferPool(disk, capacity=2)
+        page = pool.fetch(page_id)
+        page.insert(b"mutation")
+        pool.unpin(page_id, dirty=True)
+        pool.flush()
+        assert disk.read_page(page_id).records() == [b"page-0", b"mutation"]
+
+    def test_new_page_is_pinned_and_dirty(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        page = pool.new_page()
+        assert page.dirty
+        assert page.page_id in pool.pinned_pages()
+
+    def test_unpin_without_fetch_rejected(self, disk):
+        make_pages(disk, 1)
+        pool = BufferPool(disk, capacity=2)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(0)
+
+    def test_double_unpin_rejected(self, disk):
+        (page_id,) = make_pages(disk, 1)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch(page_id)
+        pool.unpin(page_id)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(page_id)
+
+    def test_clear_drops_unpinned(self, disk):
+        ids = make_pages(disk, 2)
+        pool = BufferPool(disk, capacity=4)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1]); pool.unpin(ids[1])
+        pool.clear()
+        assert len(pool) == 1
+
+    def test_capacity_validation(self, disk):
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, capacity=0)

@@ -1,0 +1,130 @@
+"""Unit tests for DocumentBuilder."""
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.document.builder import DocumentBuilder
+from repro.document.parser import parse_xml
+
+
+def build_simple():
+    builder = DocumentBuilder(name="t")
+    with builder.element("root"):
+        builder.leaf("child", text="hello")
+        with builder.element("branch", {"k": "v"}):
+            builder.leaf("leaf")
+    return builder.finish()
+
+
+class TestDocumentBuilder:
+    def test_preorder_numbering(self):
+        document = build_simple()
+        assert [node.tag for node in document] == [
+            "root", "child", "branch", "leaf"]
+        assert [node.start for node in document] == [0, 1, 2, 3]
+
+    def test_region_nesting(self):
+        document = build_simple()
+        root, child, branch, leaf = document.nodes
+        assert root.region.end == 3
+        assert child.region.end == 1
+        assert branch.region.end == 3
+        assert root.is_parent_of(child)
+        assert branch.is_parent_of(leaf)
+        assert root.is_ancestor_of(leaf)
+        assert not root.is_parent_of(leaf)
+
+    def test_levels(self):
+        document = build_simple()
+        assert [node.level for node in document] == [0, 1, 1, 2]
+
+    def test_text_is_stripped_and_joined(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.text("  hello ")
+        builder.text(" world  ")
+        builder.end_element("a")
+        document = builder.finish()
+        assert document.root.text == "hello  world"
+
+    def test_attributes_preserved(self):
+        document = build_simple()
+        assert document.nodes[2].attributes == {"k": "v"}
+
+    def test_mismatched_end_tag(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        with pytest.raises(DocumentError, match="mismatched end tag"):
+            builder.end_element("b")
+
+    def test_end_without_start(self):
+        builder = DocumentBuilder()
+        with pytest.raises(DocumentError, match="no open element"):
+            builder.end_element()
+
+    def test_unclosed_element(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        with pytest.raises(DocumentError, match="unclosed"):
+            builder.finish()
+
+    def test_two_roots_rejected(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.end_element()
+        with pytest.raises(DocumentError, match="one root"):
+            builder.start_element("b")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(DocumentError):
+            DocumentBuilder().finish()
+
+    def test_builder_single_use(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.end_element()
+        builder.finish()
+        with pytest.raises(DocumentError, match="already finished"):
+            builder.start_element("b")
+
+    def test_text_outside_root(self):
+        builder = DocumentBuilder()
+        builder.text("   \n ")  # whitespace is tolerated
+        with pytest.raises(DocumentError, match="outside the root"):
+            builder.text("oops")
+
+
+class TestSplice:
+    def test_splice_shifts_regions(self):
+        inner = parse_xml("<x><y/><z><w/></z></x>")
+        builder = DocumentBuilder()
+        builder.start_element("outer")
+        builder.leaf("pre")
+        builder.splice(inner)
+        builder.end_element()
+        document = builder.finish()
+        assert [node.tag for node in document] == [
+            "outer", "pre", "x", "y", "z", "w"]
+        spliced_root = document.nodes[2]
+        assert spliced_root.level == 1
+        assert spliced_root.parent_id == 0
+        assert spliced_root.region.end == 5
+        assert document.nodes[5].level == 3
+
+    def test_splice_requires_open_parent(self):
+        inner = parse_xml("<x/>")
+        builder = DocumentBuilder()
+        with pytest.raises(DocumentError, match="open parent"):
+            builder.splice(inner)
+
+    def test_splice_twice_produces_two_copies(self):
+        inner = parse_xml("<x><y/></x>")
+        builder = DocumentBuilder()
+        builder.start_element("outer")
+        builder.splice(inner)
+        builder.splice(inner)
+        builder.end_element()
+        document = builder.finish()
+        assert [node.tag for node in document] == [
+            "outer", "x", "y", "x", "y"]
+        assert document.tag_count("x") == 2

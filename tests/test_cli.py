@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestQueryCommand:
+    def test_query_generated_dataset(self):
+        code, output = run_cli(
+            "query", "--dataset", "pers", "--nodes", "400",
+            "//manager//employee/name")
+        assert code == 0
+        assert "matches" in output
+        assert "engine:" in output
+
+    def test_query_with_explain(self):
+        code, output = run_cli(
+            "query", "--dataset", "pers", "--nodes", "400", "--explain",
+            "--algorithm", "FP", "//manager/employee")
+        assert code == 0
+        assert "IndexScan" in output
+
+    def test_query_xml_file(self, tmp_path, personnel_xml):
+        path = tmp_path / "pers.xml"
+        path.write_text(personnel_xml)
+        code, output = run_cli("query", "--xml", str(path),
+                               "//manager/name")
+        assert code == 0
+        assert "matches" in output
+        assert "Ada Adams" in output
+
+    def test_query_holistic(self):
+        code, output = run_cli(
+            "query", "--dataset", "pers", "--nodes", "400",
+            "--holistic", "//manager//employee")
+        assert code == 0
+        assert "holistic" in output
+
+    def test_limit_zero_hides_rows(self):
+        code, output = run_cli(
+            "query", "--dataset", "pers", "--nodes", "400",
+            "--limit", "0", "//manager/name")
+        assert code == 0
+        assert "<name>" not in output
+
+    def test_missing_file_is_clean_error(self, capsys):
+        code, __ = run_cli("query", "--xml", "/nonexistent.xml", "//a")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_explain_lists_all_algorithms(self):
+        code, output = run_cli("explain", "--dataset", "pers",
+                               "--nodes", "400",
+                               "//manager//employee/name")
+        assert code == 0
+        for algorithm in ("DP", "DPP", "DPAP-EB", "DPAP-LD", "FP"):
+            assert f"=== {algorithm} " in output
+
+    def test_stats(self):
+        code, output = run_cli("stats", "--dataset", "dblp",
+                               "--nodes", "300")
+        assert code == 0
+        assert "nodes" in output
+        assert "article" in output
+
+    def test_generate_to_stdout(self):
+        code, output = run_cli("generate", "mbench", "--nodes", "60")
+        assert code == 0
+        assert output.startswith("<?xml")
+        assert "<eNest" in output
+
+    def test_generate_to_file_roundtrips(self, tmp_path):
+        path = tmp_path / "pers.xml"
+        code, output = run_cli("generate", "pers", "--nodes", "200",
+                               "--output", str(path))
+        assert code == 0
+        assert "wrote" in output
+        code, output = run_cli("query", "--xml", str(path),
+                               "//manager/name")
+        assert code == 0
+
+    def test_bench_table2(self):
+        code, output = run_cli("bench", "table2", "--pers-nodes", "400")
+        assert code == 0
+        assert "Table 2" in output
+        assert "DPP'" in output
+
+    def test_bad_xpath_is_clean_error(self, capsys):
+        code, __ = run_cli("query", "--dataset", "pers", "--nodes",
+                           "300", "//a[")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTraceCommand:
+    def test_narrative(self):
+        code, output = run_cli("trace", "--dataset", "pers", "--nodes",
+                               "300", "//manager//employee/name")
+        assert code == 0
+        assert "generate" in output
+        assert "expand" in output
+        assert "chosen plan" in output
+
+    def test_dot_output(self):
+        code, output = run_cli("trace", "--dataset", "pers", "--nodes",
+                               "300", "--dot", "//manager/employee")
+        assert code == 0
+        assert output.startswith("digraph")

@@ -1,0 +1,90 @@
+"""Unit tests for the disk managers."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import FileDisk, InMemoryDisk
+from repro.storage.pages import Page
+
+
+@pytest.fixture(params=["memory", "file"])
+def disk(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryDisk()
+    else:
+        with FileDisk(tmp_path / "data.db") as file_disk:
+            yield file_disk
+
+
+class TestDiskManagers:
+    def test_allocate_sequential_ids(self, disk):
+        assert disk.allocate() == 0
+        assert disk.allocate() == 1
+        assert disk.page_count == 2
+        assert disk.stats.allocations == 2
+
+    def test_write_and_read_back(self, disk):
+        page_id = disk.allocate()
+        page = Page(page_id)
+        page.insert(b"payload")
+        disk.write_page(page)
+        loaded = disk.read_page(page_id)
+        assert loaded.records() == [b"payload"]
+
+    def test_io_counters(self, disk):
+        page_id = disk.allocate()
+        disk.write_page(Page(page_id))
+        disk.read_page(page_id)
+        disk.read_page(page_id)
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 2
+        assert disk.stats.total == 3
+
+    def test_stats_reset_and_snapshot(self, disk):
+        disk.allocate()
+        snapshot = disk.stats.snapshot()
+        disk.stats.reset()
+        assert snapshot.allocations == 1
+        assert disk.stats.allocations == 0
+
+    def test_unallocated_read_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.read_page(42)
+
+    def test_unallocated_write_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.write_page(Page(42))
+
+    def test_write_clears_dirty(self, disk):
+        page_id = disk.allocate()
+        page = Page(page_id)
+        page.insert(b"x")
+        assert page.dirty
+        disk.write_page(page)
+        assert not page.dirty
+
+
+class TestFileDisk:
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "persist.db"
+        with FileDisk(path) as disk:
+            page_id = disk.allocate()
+            page = Page(page_id)
+            page.insert(b"durable")
+            disk.write_page(page)
+        with FileDisk(path) as disk:
+            assert disk.page_count == 1
+            assert disk.read_page(0).records() == [b"durable"]
+
+    def test_closed_disk_rejects_io(self, tmp_path):
+        disk = FileDisk(tmp_path / "closed.db")
+        disk.allocate()
+        disk.close()
+        with pytest.raises(StorageError, match="closed"):
+            disk.read_page(0)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.db"
+        path.write_bytes(b"not a page")
+        with pytest.raises(StorageError, match="whole number"):
+            FileDisk(path)

@@ -1,0 +1,115 @@
+"""Unit tests for XmlDocument navigation and validation."""
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.document.document import XmlDocument, merge_documents
+from repro.document.node import NodeRecord, Region
+from repro.document.parser import parse_xml
+
+
+@pytest.fixture
+def document():
+    return parse_xml("<a><b><c/><d/></b><e><f/></e></a>")
+
+
+class TestNavigation:
+    def test_root(self, document):
+        assert document.root.tag == "a"
+
+    def test_node_lookup(self, document):
+        assert document.node(0).tag == "a"
+        assert document.node(3).tag == "d"
+        with pytest.raises(DocumentError):
+            document.node(99)
+
+    def test_parent_and_children(self, document):
+        b = document.node(1)
+        assert document.parent(b).tag == "a"
+        assert [child.tag for child in document.children(b)] == ["c", "d"]
+        assert document.parent(document.root) is None
+
+    def test_descendants_in_document_order(self, document):
+        b = document.node(1)
+        assert [node.tag for node in document.descendants(b)] == ["c", "d"]
+        assert [node.tag for node in document.descendants(document.root)
+                ] == ["b", "c", "d", "e", "f"]
+
+    def test_subtree_includes_self(self, document):
+        e = document.node(4)
+        assert [node.tag for node in document.subtree(e)] == ["e", "f"]
+
+    def test_ancestors_nearest_first(self, document):
+        c = document.node(2)
+        assert [node.tag for node in document.ancestors(c)] == ["b", "a"]
+
+    def test_tags_and_counts(self, document):
+        assert document.tags() == ["a", "b", "c", "d", "e", "f"]
+        assert document.tag_count("c") == 1
+        assert document.tag_count("zzz") == 0
+        assert document.nodes_with_tag("zzz") == []
+
+    def test_depth_and_histogram(self, document):
+        assert document.depth() == 2
+        assert document.tag_histogram()["a"] == 1
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(DocumentError, match="at least one node"):
+            XmlDocument([])
+
+    def test_unsorted_rejected(self):
+        nodes = [
+            NodeRecord(1, "b", Region(1, 1, 1), parent_id=0),
+            NodeRecord(0, "a", Region(0, 1, 0)),
+        ]
+        with pytest.raises(DocumentError, match="sorted"):
+            XmlDocument(nodes)
+
+    def test_missing_parent_rejected(self):
+        nodes = [
+            NodeRecord(0, "a", Region(0, 1, 0)),
+            NodeRecord(1, "b", Region(1, 1, 1), parent_id=7),
+        ]
+        with pytest.raises(DocumentError, match="missing parent"):
+            XmlDocument(nodes)
+
+    def test_bad_nesting_rejected(self):
+        nodes = [
+            NodeRecord(0, "a", Region(0, 0, 0)),
+            NodeRecord(1, "b", Region(1, 1, 1), parent_id=0),
+        ]
+        with pytest.raises(DocumentError, match="not nested"):
+            XmlDocument(nodes)
+
+    def test_root_must_be_first(self):
+        nodes = [
+            NodeRecord(0, "a", Region(0, 1, 1), parent_id=-1),
+            NodeRecord(1, "b", Region(1, 1, 2), parent_id=0),
+        ]
+        with pytest.raises(DocumentError, match="root"):
+            XmlDocument(nodes)
+
+
+class TestMerge:
+    def test_merge_two_documents(self):
+        first = parse_xml("<x><y/></x>")
+        second = parse_xml("<p><q/><r/></p>")
+        merged = merge_documents([first, second], root_tag="all")
+        assert [node.tag for node in merged] == [
+            "all", "x", "y", "p", "q", "r"]
+        assert merged.node(3).parent_id == 0
+        assert merged.node(4).level == 2
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(DocumentError):
+            merge_documents([])
+
+    def test_merge_preserves_structure_queries(self):
+        base = parse_xml("<x><y><z/></y></x>")
+        merged = merge_documents([base, base, base])
+        assert merged.tag_count("z") == 3
+        for z in merged.nodes_with_tag("z"):
+            chain = [node.tag for node in merged.ancestors(z)]
+            assert chain == ["y", "x", "collection"]

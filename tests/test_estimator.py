@@ -1,0 +1,219 @@
+"""Unit tests for the cardinality estimators."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.core.pattern import PatternNode, Predicate, QueryPattern
+from repro.estimation.estimator import (ExactEstimator,
+                                        PatternCardinalities,
+                                        PositionalEstimator,
+                                        build_tag_statistics)
+
+
+@pytest.fixture
+def exact(small_document):
+    return ExactEstimator(small_document)
+
+
+@pytest.fixture
+def positional(small_document):
+    return PositionalEstimator.from_document(small_document)
+
+
+@pytest.fixture
+def pattern():
+    return QueryPattern.build({
+        "nodes": ["manager", "employee", "name"],
+        "edges": [(0, 1, "//"), (1, 2, "/")],
+    })
+
+
+class TestTagStatistics:
+    def test_counts(self, small_document):
+        stats = build_tag_statistics(small_document)
+        assert stats["manager"].count == 3
+        assert stats["*"].count == len(small_document)
+
+    def test_distinct_values(self, small_document):
+        stats = build_tag_statistics(small_document)
+        assert stats["name"].distinct_texts > 1
+        assert stats["manager"].distinct_attribute_values["id"] == 3
+
+
+class TestExactEstimator:
+    def test_node_cardinality(self, exact):
+        assert exact.node_cardinality(PatternNode(0, "manager")) == 3
+        assert exact.node_cardinality(PatternNode(0, "nothing")) == 0
+
+    def test_node_cardinality_with_predicate(self, exact):
+        node = PatternNode(0, "name", (
+            Predicate(kind="text", op="=", value="Ada Adams"),))
+        assert exact.node_cardinality(node) == 1
+
+    def test_wildcard(self, exact, small_document):
+        assert exact.node_cardinality(PatternNode(0, "*")) == len(
+            small_document)
+
+    def test_edge_cardinality_matches_truth(self, exact, pattern,
+                                            small_document):
+        # manager // employee: count by brute force
+        truth = sum(
+            1 for m in small_document.nodes_with_tag("manager")
+            for e in small_document.nodes_with_tag("employee")
+            if m.is_ancestor_of(e))
+        assert exact.edge_cardinality(pattern, 0, 1) == truth
+
+    def test_edge_cardinality_parent_child(self, exact, pattern,
+                                           small_document):
+        truth = sum(
+            1 for e in small_document.nodes_with_tag("employee")
+            for n in small_document.nodes_with_tag("name")
+            if e.is_parent_of(n))
+        assert exact.edge_cardinality(pattern, 1, 2) == truth
+
+    def test_edge_must_exist(self, exact, pattern):
+        with pytest.raises(EstimationError):
+            exact.edge_cardinality(pattern, 0, 2)
+        with pytest.raises(EstimationError):
+            exact.edge_cardinality(pattern, 1, 0)  # inverted
+
+    def test_cluster_cardinality_single_edge_is_exact(self, exact,
+                                                      pattern):
+        pair = exact.edge_cardinality(pattern, 0, 1)
+        assert exact.cluster_cardinality(
+            pattern, frozenset({0, 1})) == pytest.approx(pair)
+
+    def test_cluster_requires_connected(self, exact, pattern):
+        with pytest.raises(EstimationError):
+            exact.cluster_cardinality(pattern, frozenset({0, 2}))
+        with pytest.raises(EstimationError):
+            exact.cluster_cardinality(pattern, frozenset())
+
+    def test_full_cluster_close_to_truth(self, exact, pattern,
+                                         small_document):
+        from repro.engine.nestedloop import naive_pattern_matches
+
+        truth = len(naive_pattern_matches(small_document, pattern))
+        estimate = exact.cluster_cardinality(pattern, frozenset({0, 1, 2}))
+        # independence combination: right magnitude, not exact
+        assert truth / 4 <= estimate <= truth * 4
+
+
+class TestPositionalEstimator:
+    def test_node_counts_match_exact(self, positional, exact):
+        for tag in ("manager", "employee", "name", "*"):
+            node = PatternNode(0, tag)
+            assert positional.node_candidates(node) == \
+                exact.node_candidates(node)
+
+    def test_edge_estimates_right_magnitude(self, positional, exact,
+                                            pattern):
+        truth = exact.edge_cardinality(pattern, 0, 1)
+        estimate = positional.edge_cardinality(pattern, 0, 1)
+        assert truth / 4 <= estimate <= truth * 4
+
+    def test_predicate_selectivity_reduces_cardinality(self, positional):
+        plain = positional.node_cardinality(PatternNode(0, "name"))
+        filtered = positional.node_cardinality(PatternNode(0, "name", (
+            Predicate(kind="text", op="=", value="Ada Adams"),)))
+        assert 0 < filtered < plain
+
+    def test_range_predicate_selectivity(self, positional):
+        filtered = positional.node_cardinality(PatternNode(0, "name", (
+            Predicate(kind="text", op="<", value="M"),)))
+        plain = positional.node_cardinality(PatternNode(0, "name"))
+        assert filtered == pytest.approx(plain / 3)
+
+    def test_edge_estimates_cached(self, positional, pattern):
+        first = positional.edge_cardinality(pattern, 0, 1)
+        assert positional.edge_cardinality(pattern, 0, 1) == first
+        assert len(positional._edge_cache) == 1
+
+    def test_missing_tag_estimates_zero(self, positional):
+        pattern = QueryPattern.build({
+            "nodes": ["manager", "unicorn"], "edges": [(0, 1, "//")]})
+        assert positional.node_cardinality(PatternNode(0, "unicorn")) == 0
+        assert positional.edge_cardinality(pattern, 0, 1) == 0.0
+
+
+class TestPatternCardinalities:
+    def test_caching(self, exact, pattern):
+        cards = PatternCardinalities(pattern, exact)
+        assert cards.node(0) == cards.node(0) == 3
+        cluster = frozenset({0, 1})
+        assert cards.cluster(cluster) == cards.cluster(cluster)
+        assert cards.cluster(frozenset({2})) == cards.node(2)
+
+    def test_candidates_vs_filtered(self, small_document, pattern):
+        exact = ExactEstimator(small_document)
+        filtered_pattern = QueryPattern.build({
+            "nodes": [("name", [Predicate(kind="text", op="=",
+                                          value="Ada Adams")])],
+            "edges": [],
+        })
+        cards = PatternCardinalities(filtered_pattern, exact)
+        assert cards.candidates(0) == small_document.tag_count("name")
+        assert cards.node(0) == 1
+
+
+class TestSamplingEstimator:
+    def test_exact_when_sample_covers_all(self, small_document, exact,
+                                          pattern):
+        from repro.estimation.sampling import SamplingEstimator
+
+        sampler = SamplingEstimator(small_document, sample_size=10**6)
+        for parent, child in ((0, 1), (1, 2)):
+            assert sampler.edge_cardinality(
+                pattern, parent, child) == pytest.approx(
+                    exact.edge_cardinality(pattern, parent, child))
+
+    def test_sampled_estimate_close_on_generated_data(self, pattern):
+        from repro.estimation.sampling import SamplingEstimator
+        from repro.workloads import personnel_document
+
+        document = personnel_document(target_nodes=1500, seed=3)
+        exact = ExactEstimator(document)
+        sampler = SamplingEstimator(document, sample_size=32)
+        truth = exact.edge_cardinality(pattern, 0, 1)
+        estimate = sampler.edge_cardinality(pattern, 0, 1)
+        assert truth > 0
+        assert truth / 2 <= estimate <= truth * 2
+
+    def test_usually_beats_histograms(self, pattern):
+        """On recursive data the sampler should not be (much) worse
+        than the 16x16 positional histogram."""
+        from repro.estimation.sampling import SamplingEstimator
+        from repro.workloads import personnel_document
+
+        document = personnel_document(target_nodes=1500, seed=3)
+        exact = ExactEstimator(document)
+        histogram = PositionalEstimator.from_document(document)
+        sampler = SamplingEstimator(document, sample_size=64)
+        truth = exact.edge_cardinality(pattern, 0, 1)
+        histogram_error = abs(
+            histogram.edge_cardinality(pattern, 0, 1) - truth)
+        sampling_error = abs(
+            sampler.edge_cardinality(pattern, 0, 1) - truth)
+        assert sampling_error <= histogram_error * 1.5
+
+    def test_node_cardinalities(self, small_document):
+        from repro.core.pattern import PatternNode
+        from repro.estimation.sampling import SamplingEstimator
+
+        sampler = SamplingEstimator(small_document)
+        assert sampler.node_cardinality(PatternNode(0, "manager")) == 3
+        assert sampler.node_cardinality(PatternNode(0, "missing")) == 0
+
+    def test_optimizers_accept_sampler(self, small_document, pattern):
+        from repro.core.dpp import DPPOptimizer
+        from repro.estimation.sampling import SamplingEstimator
+
+        result = DPPOptimizer().optimize(
+            pattern, SamplingEstimator(small_document))
+        assert result.estimated_cost > 0
+
+    def test_invalid_sample_size(self, small_document):
+        from repro.estimation.sampling import SamplingEstimator
+
+        with pytest.raises(EstimationError):
+            SamplingEstimator(small_document, sample_size=0)

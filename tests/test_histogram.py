@@ -1,0 +1,154 @@
+"""Unit tests for positional and level histograms."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.document.node import Region
+from repro.document.parser import parse_xml
+from repro.estimation.estimator import count_containment_pairs
+from repro.estimation.histogram import (LevelHistogram,
+                                        PositionalHistogram,
+                                        _overlap_uniform_less)
+
+
+class TestOverlapProbability:
+    def test_disjoint_intervals(self):
+        assert _overlap_uniform_less(0, 1, 5, 6) == 1.0
+        assert _overlap_uniform_less(5, 6, 0, 1) == 0.0
+
+    def test_identical_intervals(self):
+        assert _overlap_uniform_less(0, 10, 0, 10) == pytest.approx(0.5)
+
+    def test_partial_overlap(self):
+        # X ~ U[0,2), Y ~ U[1,3): P(X<Y) = 7/8
+        assert _overlap_uniform_less(0, 2, 1, 3) == pytest.approx(7 / 8)
+
+    def test_point_masses(self):
+        assert _overlap_uniform_less(1, 1, 2, 2) == 1.0
+        assert _overlap_uniform_less(2, 2, 1, 1) == 0.0
+        assert _overlap_uniform_less(1, 1, 0, 2) == pytest.approx(0.5)
+        assert _overlap_uniform_less(0, 2, 1, 1) == pytest.approx(0.5)
+
+    def test_probability_bounds(self):
+        for args in [(0, 3, 1, 9), (2, 7, 0, 4), (0, 1, 0, 100)]:
+            p = _overlap_uniform_less(*args)
+            assert 0.0 <= p <= 1.0
+
+
+class TestPositionalHistogram:
+    def test_add_and_total(self):
+        histogram = PositionalHistogram(position_space=100, grid=4)
+        histogram.add(Region(0, 50, 0))
+        histogram.add(Region(60, 70, 1))
+        assert len(histogram) == 2
+
+    def test_out_of_space_rejected(self):
+        histogram = PositionalHistogram(position_space=10, grid=2)
+        with pytest.raises(EstimationError):
+            histogram.add(Region(5, 10, 0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            PositionalHistogram(position_space=0)
+        with pytest.raises(EstimationError):
+            PositionalHistogram(position_space=10, grid=0)
+
+    def test_empty_join_estimate(self):
+        left = PositionalHistogram(10, 2)
+        right = PositionalHistogram(10, 2)
+        assert left.estimate_containment_join(right) == 0.0
+
+    def test_estimate_accuracy_on_real_document(self):
+        """Histogram estimate should be within ~3x of truth on a
+        moderately recursive document at grid=16."""
+        from repro.workloads import personnel_document
+
+        document = personnel_document(target_nodes=600, seed=9)
+        space = len(document)
+        managers = [n.region for n in document.nodes_with_tag("manager")]
+        employees = [n.region for n in document.nodes_with_tag("employee")]
+        anc = PositionalHistogram(space, 16)
+        anc.add_all(managers)
+        desc = PositionalHistogram(space, 16)
+        desc.add_all(employees)
+        truth = count_containment_pairs(managers, employees)
+        estimate = anc.estimate_containment_join(desc)
+        assert truth > 0
+        assert truth / 3 <= estimate <= truth * 3
+
+    def test_finer_grid_not_worse(self):
+        from repro.workloads import personnel_document
+
+        document = personnel_document(target_nodes=600, seed=9)
+        space = len(document)
+        managers = [n.region for n in document.nodes_with_tag("manager")]
+        names = [n.region for n in document.nodes_with_tag("name")]
+        truth = count_containment_pairs(managers, names)
+        errors = []
+        for grid in (1, 8, 32):
+            anc = PositionalHistogram(space, grid)
+            anc.add_all(managers)
+            desc = PositionalHistogram(space, grid)
+            desc.add_all(names)
+            estimate = anc.estimate_containment_join(desc)
+            errors.append(abs(estimate - truth) / truth)
+        assert errors[-1] <= errors[0]
+
+
+class TestLevelHistogram:
+    def test_probability(self):
+        histogram = LevelHistogram()
+        for level in (1, 1, 2, 3):
+            histogram.add(level)
+        assert histogram.probability(1) == pytest.approx(0.5)
+        assert histogram.probability(9) == 0.0
+
+    def test_empty(self):
+        assert LevelHistogram().probability(0) == 0.0
+
+    def test_parent_child_fraction(self):
+        parents = LevelHistogram()
+        parents.add(1)
+        children = LevelHistogram()
+        children.add(2)
+        children.add(3)
+        # of deeper pairs, half are exactly one level apart
+        assert parents.parent_child_fraction(children) == pytest.approx(0.5)
+
+    def test_parent_child_fraction_no_deeper(self):
+        parents = LevelHistogram()
+        parents.add(5)
+        children = LevelHistogram()
+        children.add(2)
+        assert parents.parent_child_fraction(children) == 0.0
+
+
+class TestCountContainmentPairs:
+    def test_simple_nesting(self):
+        document = parse_xml("<a><b><a><b/></a></b></a>")
+        a_regions = [n.region for n in document.nodes_with_tag("a")]
+        b_regions = [n.region for n in document.nodes_with_tag("b")]
+        assert count_containment_pairs(a_regions, b_regions) == 3
+        assert count_containment_pairs(
+            a_regions, b_regions, parent_child=True) == 2
+
+    def test_self_join(self):
+        document = parse_xml("<a><a><a/></a></a>")
+        regions = [n.region for n in document.nodes_with_tag("a")]
+        assert count_containment_pairs(regions, regions) == 3
+
+    def test_matches_bruteforce(self, small_document):
+        tags = small_document.tags()
+        for anc_tag in tags:
+            for desc_tag in tags:
+                ancs = [n.region for n in
+                        small_document.nodes_with_tag(anc_tag)]
+                descs = [n.region for n in
+                         small_document.nodes_with_tag(desc_tag)]
+                brute = sum(1 for a in ancs for d in descs
+                            if a.contains(d))
+                assert count_containment_pairs(ancs, descs) == brute
+                brute_pc = sum(1 for a in ancs for d in descs
+                               if a.is_parent_of(d))
+                assert count_containment_pairs(
+                    ancs, descs, parent_child=True) == brute_pc

@@ -1,0 +1,253 @@
+"""Correctness tests for the five optimization algorithms.
+
+The key invariants, straight from the paper:
+
+* DP and DPP always find the same optimal cost (Sec. 4.2.1);
+* all algorithms produce *valid* plans whose execution returns exactly
+  the pattern's matches;
+* FP plans are fully pipelined and optimal among sort-free plans;
+* DPAP-LD plans are left-deep;
+* DPAP-EB with T_e = infinity degenerates to DPP.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.core import (DPAPEBOptimizer, DPAPLDOptimizer, DPOptimizer,
+                        DPPOptimizer, FPOptimizer, QueryPattern,
+                        get_optimizer, optimizer_names)
+from repro.core.plans import validate_plan
+from repro.engine.nestedloop import naive_pattern_matches
+from repro.estimation.estimator import ExactEstimator
+from repro.workloads.queries import PAPER_QUERIES
+
+ALL_OPTIMIZERS = (DPOptimizer, DPPOptimizer, DPAPEBOptimizer,
+                  DPAPLDOptimizer, FPOptimizer)
+
+PATTERNS = {
+    "single": {"nodes": ["manager"], "edges": []},
+    "pair": {"nodes": ["manager", "employee"], "edges": [(0, 1, "//")]},
+    "chain": {"nodes": ["manager", "employee", "name"],
+              "edges": [(0, 1, "//"), (1, 2, "/")]},
+    "branch": {"nodes": ["manager", "employee", "department"],
+               "edges": [(0, 1, "//"), (0, 2, "//")]},
+    "running": {"nodes": ["manager", "employee", "name", "manager",
+                          "department", "name"],
+                "edges": [(0, 1, "//"), (1, 2, "/"), (0, 3, "//"),
+                          (3, 4, "/"), (4, 5, "/")]},
+    "ordered": {"nodes": ["manager", "employee", "name"],
+                "edges": [(0, 1, "//"), (1, 2, "/")], "order_by": 0},
+}
+
+
+@pytest.fixture(scope="module")
+def database(small_document=None):
+    from repro.document.parser import parse_xml
+    from tests.conftest import PERSONNEL_XML
+
+    return Database.from_document(parse_xml(PERSONNEL_XML))
+
+
+@pytest.mark.parametrize("optimizer_class", ALL_OPTIMIZERS,
+                         ids=lambda cls: cls.name)
+@pytest.mark.parametrize("pattern_name", sorted(PATTERNS))
+class TestAllOptimizers:
+    def test_plan_valid_and_correct(self, database, optimizer_class,
+                                    pattern_name):
+        pattern = QueryPattern.build(PATTERNS[pattern_name])
+        estimator = ExactEstimator(database.document)
+        result = optimizer_class().optimize(pattern, estimator)
+        validate_plan(result.plan, pattern)
+        execution = database.execute(result.plan, pattern)
+        oracle = naive_pattern_matches(database.document, pattern)
+        expected = {tuple(b[k].start for k in sorted(b)) for b in oracle}
+        assert execution.canonical() == expected
+
+    def test_report_filled(self, database, optimizer_class, pattern_name):
+        pattern = QueryPattern.build(PATTERNS[pattern_name])
+        result = optimizer_class().optimize(
+            pattern, ExactEstimator(database.document))
+        assert result.report.plans_considered >= 1
+        assert result.report.optimization_seconds >= 0
+        assert result.estimated_cost > 0
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("pattern_name",
+                             ["pair", "chain", "branch", "running",
+                              "ordered"])
+    def test_dp_and_dpp_agree(self, database, pattern_name):
+        pattern = QueryPattern.build(PATTERNS[pattern_name])
+        estimator = ExactEstimator(database.document)
+        dp_cost = DPOptimizer().optimize(pattern, estimator).estimated_cost
+        dpp_cost = DPPOptimizer().optimize(pattern,
+                                           estimator).estimated_cost
+        assert dp_cost == pytest.approx(dpp_cost)
+
+    @pytest.mark.parametrize("pattern_name",
+                             ["pair", "chain", "branch", "running"])
+    def test_dpp_prime_also_optimal(self, database, pattern_name):
+        pattern = QueryPattern.build(PATTERNS[pattern_name])
+        estimator = ExactEstimator(database.document)
+        dp_cost = DPOptimizer().optimize(pattern, estimator).estimated_cost
+        prime_cost = get_optimizer("DPP'").optimize(
+            pattern, estimator).estimated_cost
+        assert dp_cost == pytest.approx(prime_cost)
+
+    @pytest.mark.parametrize("pattern_name",
+                             ["pair", "chain", "branch", "running"])
+    def test_heuristics_never_beat_optimal(self, database, pattern_name):
+        pattern = QueryPattern.build(PATTERNS[pattern_name])
+        estimator = ExactEstimator(database.document)
+        optimal = DPOptimizer().optimize(pattern, estimator).estimated_cost
+        for optimizer_class in (DPAPEBOptimizer, DPAPLDOptimizer,
+                                FPOptimizer):
+            cost = optimizer_class().optimize(pattern,
+                                              estimator).estimated_cost
+            assert cost >= optimal - 1e-9
+
+    def test_dpp_search_smaller_than_dp(self, database):
+        pattern = QueryPattern.build(PATTERNS["running"])
+        estimator = ExactEstimator(database.document)
+        dp = DPOptimizer().optimize(pattern, estimator).report
+        dpp = DPPOptimizer().optimize(pattern, estimator).report
+        assert dpp.statuses_generated < dp.statuses_generated
+
+
+class TestFPProperties:
+    @pytest.mark.parametrize("pattern_name",
+                             ["pair", "chain", "branch", "running",
+                              "ordered"])
+    def test_fp_plans_fully_pipelined(self, database, pattern_name):
+        pattern = QueryPattern.build(PATTERNS[pattern_name])
+        result = FPOptimizer().optimize(
+            pattern, ExactEstimator(database.document))
+        assert result.plan.is_fully_pipelined
+        assert result.plan.sort_count() == 0
+
+    def test_fp_optimal_among_pipelined(self, database):
+        """Brute-force all sort-free plans of the chain pattern and
+        check FP found the cheapest."""
+        from repro.core.cost import CostModel
+        from repro.core.enumeration import (EnumerationContext,
+                                            estimate_plan_cost)
+        from repro.core.pattern import Axis
+        from repro.core.plans import (IndexScanPlan, JoinAlgorithm,
+                                      StructuralJoinPlan)
+
+        pattern = QueryPattern.build(PATTERNS["chain"])
+        estimator = ExactEstimator(database.document)
+        context = EnumerationContext(pattern, CostModel(), estimator)
+
+        candidates = []
+        STA = JoinAlgorithm.STACK_TREE_ANC
+        STD = JoinAlgorithm.STACK_TREE_DESC
+        # join (0,1) first, then (1,2): second join needs order by 1,
+        # so the first must be STA (ordered by 0 is useless) -> STA+any
+        for first_algo in (STA, STD):
+            inner = StructuralJoinPlan(
+                IndexScanPlan(0), IndexScanPlan(1), 0, 1,
+                Axis.DESCENDANT, first_algo)
+            if inner.ordered_by != 1:
+                continue
+            for second_algo in (STA, STD):
+                candidates.append(StructuralJoinPlan(
+                    inner, IndexScanPlan(2), 1, 2, Axis.CHILD,
+                    second_algo))
+        # join (1,2) first, then (0,1)
+        for first_algo in (STA, STD):
+            inner = StructuralJoinPlan(
+                IndexScanPlan(1), IndexScanPlan(2), 1, 2, Axis.CHILD,
+                first_algo)
+            if inner.ordered_by != 1:
+                continue
+            for second_algo in (STA, STD):
+                candidates.append(StructuralJoinPlan(
+                    IndexScanPlan(0), inner, 0, 1, Axis.DESCENDANT,
+                    second_algo))
+        assert candidates
+        # estimate_plan_cost already includes the leaf index scans
+        best_brute = min(estimate_plan_cost(plan, context)
+                         for plan in candidates)
+
+        fp_cost = FPOptimizer().optimize(pattern, estimator).estimated_cost
+        assert fp_cost == pytest.approx(best_brute)
+
+
+class TestDPAPProperties:
+    def test_ld_plans_left_deep(self, database):
+        for name in ("chain", "branch", "running"):
+            pattern = QueryPattern.build(PATTERNS[name])
+            result = DPAPLDOptimizer().optimize(
+                pattern, ExactEstimator(database.document))
+            assert result.plan.is_left_deep
+
+    def test_eb_with_huge_bound_matches_dpp(self, database):
+        pattern = QueryPattern.build(PATTERNS["running"])
+        estimator = ExactEstimator(database.document)
+        dpp_cost = DPPOptimizer().optimize(pattern,
+                                           estimator).estimated_cost
+        eb_cost = DPAPEBOptimizer(expansion_bound=10_000).optimize(
+            pattern, estimator).estimated_cost
+        assert eb_cost == pytest.approx(dpp_cost)
+
+    def test_eb_monotone_search_size(self, database):
+        pattern = QueryPattern.build(PATTERNS["running"])
+        estimator = ExactEstimator(database.document)
+        sizes = []
+        for bound in (1, 3, 100):
+            report = DPAPEBOptimizer(expansion_bound=bound).optimize(
+                pattern, estimator).report
+            sizes.append(report.statuses_expanded)
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_every_te_value_produces_plan(self, database):
+        pattern = QueryPattern.build(PATTERNS["running"])
+        estimator = ExactEstimator(database.document)
+        oracle = naive_pattern_matches(database.document, pattern)
+        expected = {tuple(b[k].start for k in sorted(b)) for b in oracle}
+        for bound in range(1, len(pattern) + 1):
+            result = DPAPEBOptimizer(expansion_bound=bound).optimize(
+                pattern, estimator)
+            execution = database.execute(result.plan, pattern)
+            assert execution.canonical() == expected
+
+
+class TestOrderByHandling:
+    def test_result_sorted_by_order_by_node(self, database):
+        pattern = QueryPattern.build(PATTERNS["ordered"])
+        for optimizer_class in ALL_OPTIMIZERS:
+            result = optimizer_class().optimize(
+                pattern, ExactEstimator(database.document))
+            execution = database.execute(result.plan, pattern)
+            position = execution.schema.position(0)
+            starts = [row[position].start for row in execution.tuples]
+            assert starts == sorted(starts), optimizer_class.name
+
+
+class TestRegistry:
+    def test_names(self):
+        names = optimizer_names()
+        for expected in ("DP", "DPP", "DPAP-EB", "DPAP-LD", "FP"):
+            assert expected in names
+
+    def test_get_optimizer_variants(self):
+        assert get_optimizer("DPP").lookahead
+        assert not get_optimizer("DPP'").lookahead
+        assert get_optimizer("DPAP-EB",
+                             expansion_bound=3).expansion_bound == 3
+
+    def test_unknown_name(self):
+        from repro.errors import OptimizerError
+
+        with pytest.raises(OptimizerError, match="unknown optimizer"):
+            get_optimizer("GENETIC")
+
+    def test_paper_queries_all_optimizable(self, database):
+        """All 8 Table 1 patterns optimize cleanly (even against a
+        database that lacks some tags)."""
+        for query in PAPER_QUERIES.values():
+            for name in ("DPP", "FP"):
+                result = get_optimizer(name).optimize(
+                    query.pattern, ExactEstimator(database.document))
+                validate_plan(result.plan, query.pattern)

@@ -1,0 +1,73 @@
+"""Unit tests for the slotted page layout."""
+
+import pytest
+
+from repro.errors import PageFullError, StorageError
+from repro.storage.pages import PAGE_SIZE, Page
+
+
+class TestPage:
+    def test_fresh_page_is_empty(self):
+        page = Page(0)
+        assert page.slot_count == 0
+        assert page.records() == []
+        assert not page.dirty
+
+    def test_insert_and_read_back(self):
+        page = Page(0)
+        slot = page.insert(b"hello")
+        assert slot == 0
+        assert page.record(0) == b"hello"
+        assert page.dirty
+
+    def test_multiple_records_in_order(self):
+        page = Page(0)
+        payloads = [f"record-{i}".encode() for i in range(10)]
+        for payload in payloads:
+            page.insert(payload)
+        assert page.records() == payloads
+
+    def test_free_space_decreases(self):
+        page = Page(0)
+        before = page.free_space
+        page.insert(b"x" * 100)
+        assert page.free_space < before - 100
+
+    def test_page_full(self):
+        page = Page(0)
+        chunk = b"y" * 1000
+        inserted = 0
+        with pytest.raises(PageFullError):
+            while True:
+                page.insert(chunk)
+                inserted += 1
+        assert inserted == 8  # 8 * (1000 + 4-byte slot) fits in 8 KiB
+
+    def test_zero_length_record(self):
+        page = Page(0)
+        page.insert(b"")
+        assert page.record(0) == b""
+
+    def test_bad_slot_rejected(self):
+        page = Page(0)
+        page.insert(b"a")
+        with pytest.raises(StorageError):
+            page.record(1)
+        with pytest.raises(StorageError):
+            page.record(-1)
+
+    def test_serialization_roundtrip(self):
+        page = Page(3)
+        page.insert(b"alpha")
+        page.insert(b"beta")
+        clone = Page(3, bytearray(page.to_bytes()))
+        assert clone.records() == [b"alpha", b"beta"]
+        assert clone.slot_count == 2
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(StorageError):
+            Page(0, bytearray(100))
+
+    def test_page_size_constant(self):
+        assert PAGE_SIZE == 8192
+        assert len(Page(0).to_bytes()) == PAGE_SIZE

@@ -1,0 +1,113 @@
+"""Tests for catalog persistence and Database.open."""
+
+import pytest
+
+from repro.api import Database
+from repro.errors import ReproError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import (read_catalog, reserve_catalog_page,
+                                   write_catalog)
+from repro.storage.disk import FileDisk, InMemoryDisk
+from repro.workloads import personnel_document
+
+
+class TestCatalog:
+    def test_roundtrip_small(self):
+        pool = BufferPool(InMemoryDisk(), capacity=8)
+        reserve_catalog_page(pool)
+        payload = {"name": "x", "values": [1, 2, 3]}
+        write_catalog(pool, payload)
+        assert read_catalog(pool) == payload
+
+    def test_roundtrip_multichunk(self):
+        pool = BufferPool(InMemoryDisk(), capacity=8)
+        reserve_catalog_page(pool)
+        payload = {"big": ["chunk" * 10] * 500}
+        write_catalog(pool, payload)
+        assert read_catalog(pool) == payload
+
+    def test_rewrite_replaces(self):
+        pool = BufferPool(InMemoryDisk(), capacity=8)
+        reserve_catalog_page(pool)
+        write_catalog(pool, {"version": 1})
+        write_catalog(pool, {"version": 2})
+        assert read_catalog(pool) == {"version": 2}
+
+    def test_reserve_requires_empty_disk(self):
+        disk = InMemoryDisk()
+        disk.allocate()
+        with pytest.raises(StorageError, match="empty disk"):
+            reserve_catalog_page(BufferPool(disk, capacity=4))
+
+    def test_read_without_catalog(self):
+        pool = BufferPool(InMemoryDisk(), capacity=4)
+        reserve_catalog_page(pool)
+        with pytest.raises(StorageError, match="no catalog"):
+            read_catalog(pool)
+
+
+class TestDatabasePersistence:
+    def test_memory_roundtrip(self):
+        document = personnel_document(target_nodes=400)
+        database = Database.from_document(document)
+        reference = database.query("//manager//employee/name")
+        database.persist()
+
+        reopened = Database.open(database.disk)
+        assert len(reopened.document) == len(document)
+        result = reopened.query("//manager//employee/name")
+        assert result.execution.canonical() == (
+            reference.execution.canonical())
+
+    def test_file_roundtrip(self, tmp_path, personnel_xml):
+        path = tmp_path / "db.pages"
+        with FileDisk(path) as disk:
+            database = Database(disk=disk)
+            from repro.document.parser import parse_xml
+
+            database.load(parse_xml(personnel_xml, name="pers"))
+            expected = database.query("//manager/name")
+            expected_keys = expected.execution.canonical()
+            database.persist()
+
+        with FileDisk(path) as disk:
+            reopened = Database.open(disk)
+            assert reopened.name == "pers"
+            result = reopened.query("//manager/name")
+            assert result.execution.canonical() == expected_keys
+            # predicates work too: text lives in the element store
+            filtered = reopened.query("//name[text() = 'Ada Adams']")
+            assert len(filtered) == 1
+
+    def test_reopened_statistics_rebuilt(self, tmp_path):
+        path = tmp_path / "stats.pages"
+        document = personnel_document(target_nodes=300)
+        with FileDisk(path) as disk:
+            database = Database(disk=disk)
+            database.load(document)
+            pattern = database.compile("//manager//employee")
+            original = database.estimator.edge_cardinality(pattern, 0, 1)
+            database.persist()
+        with FileDisk(path) as disk:
+            reopened = Database.open(disk)
+            pattern = reopened.compile("//manager//employee")
+            rebuilt = reopened.estimator.edge_cardinality(pattern, 0, 1)
+            assert rebuilt == pytest.approx(original)
+
+    def test_open_unpersisted_disk_fails(self):
+        database = Database.from_document(
+            personnel_document(target_nodes=200))
+        with pytest.raises(StorageError, match="no catalog"):
+            Database.open(database.disk)
+
+    def test_persist_requires_document(self):
+        with pytest.raises(ReproError, match="no document"):
+            Database().persist()
+
+    def test_repersist_after_no_changes(self):
+        database = Database.from_document(
+            personnel_document(target_nodes=200))
+        database.persist()
+        database.persist()
+        reopened = Database.open(database.disk)
+        assert len(reopened.document) == len(database.document)

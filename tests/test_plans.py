@@ -1,0 +1,131 @@
+"""Unit tests for physical plan trees."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.core.pattern import Axis, QueryPattern
+from repro.core.plans import (IndexScanPlan, JoinAlgorithm, SortPlan,
+                              StructuralJoinPlan, validate_plan)
+
+
+@pytest.fixture
+def pattern():
+    return QueryPattern.build({
+        "nodes": ["a", "b", "c"],
+        "edges": [(0, 1, "//"), (1, 2, "/")],
+    })
+
+
+def join(anc, desc, anc_node, desc_node, axis=Axis.DESCENDANT,
+         algorithm=JoinAlgorithm.STACK_TREE_DESC):
+    return StructuralJoinPlan(anc, desc, anc_node, desc_node, axis,
+                              algorithm)
+
+
+class TestPlanStructure:
+    def test_scan_leaf(self):
+        scan = IndexScanPlan(1, estimated_cardinality=10.0)
+        assert scan.pattern_nodes() == frozenset({1})
+        assert scan.ordered_by == 1
+        assert scan.is_fully_pipelined
+        assert scan.is_left_deep
+        assert scan.join_count() == 0
+
+    def test_join_output_order_follows_algorithm(self):
+        std = join(IndexScanPlan(0), IndexScanPlan(1), 0, 1)
+        assert std.ordered_by == 1
+        sta = join(IndexScanPlan(0), IndexScanPlan(1), 0, 1,
+                   algorithm=JoinAlgorithm.STACK_TREE_ANC)
+        assert sta.ordered_by == 0
+
+    def test_join_input_validation(self):
+        with pytest.raises(PlanError, match="ancestor node"):
+            join(IndexScanPlan(0), IndexScanPlan(1), 2, 1)
+        with pytest.raises(PlanError, match="descendant node"):
+            join(IndexScanPlan(0), IndexScanPlan(1), 0, 2)
+        with pytest.raises(PlanError, match="overlap"):
+            join(IndexScanPlan(0), IndexScanPlan(0), 0, 0)
+
+    def test_sort_validation(self):
+        scan = IndexScanPlan(0)
+        with pytest.raises(PlanError, match="unbound"):
+            SortPlan(scan, 5)
+
+    def test_walk_preorder(self):
+        plan = join(IndexScanPlan(0),
+                    join(IndexScanPlan(1), IndexScanPlan(2), 1, 2), 0, 1)
+        kinds = [type(node).__name__ for node in plan.walk()]
+        assert kinds == ["StructuralJoinPlan", "IndexScanPlan",
+                         "StructuralJoinPlan", "IndexScanPlan",
+                         "IndexScanPlan"]
+
+
+class TestTaxonomy:
+    def test_left_deep_chain(self):
+        plan = join(join(IndexScanPlan(0), IndexScanPlan(1), 0, 1,
+                         algorithm=JoinAlgorithm.STACK_TREE_ANC),
+                    IndexScanPlan(2), 1, 2)
+        assert plan.is_left_deep
+
+    def test_bushy_plan_detected(self):
+        left = join(IndexScanPlan(0), IndexScanPlan(1), 0, 1)
+        right = join(IndexScanPlan(2), IndexScanPlan(3), 2, 3)
+        bushy = join(left, right, 1, 2)
+        assert not bushy.is_left_deep
+
+    def test_sort_breaks_pipeline(self):
+        inner = join(IndexScanPlan(0), IndexScanPlan(1), 0, 1)
+        sorted_plan = SortPlan(inner, 0)
+        outer = join(sorted_plan, IndexScanPlan(2), 0, 2)
+        assert not outer.is_fully_pipelined
+        assert outer.sort_count() == 1
+        assert inner.is_fully_pipelined
+
+
+class TestValidatePlan:
+    def test_valid_plan(self, pattern):
+        plan = join(IndexScanPlan(0),
+                    join(IndexScanPlan(1), IndexScanPlan(2), 1, 2,
+                         axis=Axis.CHILD), 0, 1)
+        validate_plan(plan, pattern)
+
+    def test_missing_node_rejected(self, pattern):
+        plan = join(IndexScanPlan(0), IndexScanPlan(1), 0, 1)
+        with pytest.raises(PlanError, match="binds"):
+            validate_plan(plan, pattern)
+
+    def test_non_edge_join_rejected(self, pattern):
+        plan = join(join(IndexScanPlan(0), IndexScanPlan(2), 0, 2),
+                    IndexScanPlan(1), 0, 1)
+        with pytest.raises(PlanError, match="no such pattern edge"):
+            validate_plan(plan, pattern)
+
+    def test_inverted_join_rejected(self, pattern):
+        plan = join(join(IndexScanPlan(1), IndexScanPlan(0), 1, 0),
+                    IndexScanPlan(2), 1, 2, axis=Axis.CHILD)
+        with pytest.raises(PlanError, match="inverted"):
+            validate_plan(plan, pattern)
+
+    def test_wrong_axis_rejected(self, pattern):
+        plan = join(IndexScanPlan(0),
+                    join(IndexScanPlan(1), IndexScanPlan(2), 1, 2,
+                         axis=Axis.DESCENDANT), 0, 1)
+        with pytest.raises(PlanError, match="axis"):
+            validate_plan(plan, pattern)
+
+
+class TestRendering:
+    def test_explain_shows_structure(self, pattern):
+        plan = join(IndexScanPlan(0),
+                    join(IndexScanPlan(1), IndexScanPlan(2), 1, 2,
+                         axis=Axis.CHILD), 0, 1)
+        text = plan.explain(pattern)
+        assert "stack-tree-desc" in text
+        assert "IndexScan($0:a)" in text
+        assert text.count("IndexScan") == 3
+
+    def test_signature_unique_per_shape(self):
+        first = join(IndexScanPlan(0), IndexScanPlan(1), 0, 1)
+        second = join(IndexScanPlan(0), IndexScanPlan(1), 0, 1,
+                      algorithm=JoinAlgorithm.STACK_TREE_ANC)
+        assert first.signature() != second.signature()

@@ -1,0 +1,68 @@
+"""Tests for the random-plan sampler ("bad plan" yardstick)."""
+
+import pytest
+
+from repro.core.plans import validate_plan
+from repro.core.random_plans import RandomPlanGenerator, worst_random_plan
+from repro.engine.nestedloop import naive_pattern_matches
+from repro.estimation.estimator import ExactEstimator
+
+
+class TestRandomPlanGenerator:
+    def test_samples_are_valid_plans(self, running_example_pattern):
+        generator = RandomPlanGenerator(running_example_pattern, seed=1)
+        for _ in range(20):
+            plan = generator.sample()
+            validate_plan(plan, running_example_pattern)
+
+    def test_deterministic_for_seed(self, running_example_pattern):
+        first = RandomPlanGenerator(running_example_pattern, seed=7)
+        second = RandomPlanGenerator(running_example_pattern, seed=7)
+        for _ in range(5):
+            assert first.sample().signature() == \
+                second.sample().signature()
+
+    def test_diversity(self, running_example_pattern):
+        generator = RandomPlanGenerator(running_example_pattern, seed=3)
+        signatures = {generator.sample().signature() for _ in range(30)}
+        assert len(signatures) > 10
+
+    def test_single_edge_pattern(self, chain_pattern):
+        generator = RandomPlanGenerator(chain_pattern, seed=2)
+        plan = generator.sample()
+        validate_plan(plan, chain_pattern)
+
+
+class TestWorstRandomPlan:
+    def test_worst_has_max_cost_in_sample(self, small_document,
+                                          running_example_pattern):
+        estimator = ExactEstimator(small_document)
+        __, worst_cost = worst_random_plan(
+            running_example_pattern, estimator, samples=25, seed=11)
+        __, smaller_cost = worst_random_plan(
+            running_example_pattern, estimator, samples=1, seed=11)
+        assert worst_cost >= smaller_cost
+
+    def test_worst_plan_still_correct(self, small_database,
+                                      small_document,
+                                      running_example_pattern):
+        estimator = ExactEstimator(small_document)
+        plan, __ = worst_random_plan(running_example_pattern, estimator,
+                                     samples=10, seed=4)
+        validate_plan(plan, running_example_pattern)
+        execution = small_database.execute(plan,
+                                           running_example_pattern)
+        oracle = naive_pattern_matches(small_document,
+                                       running_example_pattern)
+        expected = {tuple(b[k].start for k in sorted(b)) for b in oracle}
+        assert execution.canonical() == expected
+
+    def test_worst_is_worse_than_optimal(self, small_database,
+                                         running_example_pattern):
+        optimized = small_database.optimize(running_example_pattern,
+                                            algorithm="DPP")
+        __, bad_cost = worst_random_plan(
+            running_example_pattern, small_database.estimator,
+            samples=30, seed=0, cost_model=small_database.cost_model)
+        # the worst of 30 random plans should be clearly worse
+        assert bad_cost > optimized.estimated_cost

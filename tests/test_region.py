@@ -1,0 +1,98 @@
+"""Unit tests for region encodings (repro.document.node)."""
+
+import pytest
+
+from repro.document.node import NodeRecord, Region
+
+
+class TestRegion:
+    def test_basic_construction(self):
+        region = Region(start=3, end=7, level=2)
+        assert region.start == 3
+        assert region.end == 7
+        assert region.level == 2
+
+    def test_invalid_regions_rejected(self):
+        with pytest.raises(ValueError):
+            Region(start=-1, end=0, level=0)
+        with pytest.raises(ValueError):
+            Region(start=5, end=4, level=0)
+        with pytest.raises(ValueError):
+            Region(start=0, end=0, level=-1)
+
+    def test_contains_strict_nesting(self):
+        outer = Region(0, 10, 0)
+        inner = Region(1, 5, 1)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_is_irreflexive(self):
+        region = Region(2, 6, 1)
+        assert not region.contains(region)
+
+    def test_contains_boundary_end_inclusive(self):
+        outer = Region(0, 5, 0)
+        last_child = Region(5, 5, 1)
+        assert outer.contains(last_child)
+
+    def test_disjoint_regions(self):
+        left = Region(0, 3, 1)
+        right = Region(4, 8, 1)
+        assert not left.contains(right)
+        assert not right.contains(left)
+        assert left.precedes(right)
+        assert not right.precedes(left)
+
+    def test_parent_of_requires_adjacent_level(self):
+        outer = Region(0, 10, 0)
+        child = Region(1, 4, 1)
+        grandchild = Region(2, 3, 2)
+        assert outer.is_parent_of(child)
+        assert not outer.is_parent_of(grandchild)
+        assert outer.is_ancestor_of(grandchild)
+
+    def test_descendant_is_inverse_of_ancestor(self):
+        outer = Region(0, 9, 0)
+        inner = Region(4, 6, 3)
+        assert inner.is_descendant_of(outer)
+        assert not outer.is_descendant_of(inner)
+
+    def test_subtree_size(self):
+        assert Region(2, 2, 1).subtree_size == 1
+        assert Region(2, 6, 1).subtree_size == 5
+
+    def test_total_order_is_document_order(self):
+        regions = [Region(4, 6, 2), Region(0, 9, 0), Region(1, 3, 1)]
+        assert sorted(regions) == [Region(0, 9, 0), Region(1, 3, 1),
+                                   Region(4, 6, 2)]
+
+    def test_hashable_and_equal(self):
+        assert Region(1, 2, 1) == Region(1, 2, 1)
+        assert len({Region(1, 2, 1), Region(1, 2, 1)}) == 1
+
+
+class TestNodeRecord:
+    def test_node_id_must_match_start(self):
+        with pytest.raises(ValueError):
+            NodeRecord(node_id=5, tag="a", region=Region(4, 6, 1))
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            NodeRecord(node_id=0, tag="", region=Region(0, 0, 0))
+
+    def test_accessors(self):
+        node = NodeRecord(node_id=2, tag="x", region=Region(2, 5, 1),
+                          parent_id=0, text="hello",
+                          attributes={"k": "v"})
+        assert (node.start, node.end, node.level) == (2, 5, 1)
+        assert node.attribute("k") == "v"
+        assert node.attribute("missing", "dflt") == "dflt"
+        assert node.sort_key() == (2, 5)
+
+    def test_structural_tests_delegate_to_region(self):
+        parent = NodeRecord(node_id=0, tag="a", region=Region(0, 3, 0))
+        child = NodeRecord(node_id=1, tag="b", region=Region(1, 2, 1),
+                           parent_id=0)
+        assert parent.is_ancestor_of(child)
+        assert parent.is_parent_of(child)
+        assert not child.is_ancestor_of(parent)

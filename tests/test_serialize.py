@@ -1,0 +1,65 @@
+"""Serializer tests, including the parse/serialize round-trip."""
+
+import io
+
+from repro.document.parser import parse_xml
+from repro.document.serialize import (escape_attribute, escape_text,
+                                      serialize, write_xml)
+
+
+def roundtrip_equal(document):
+    """Re-parse the serialized form and compare node tables."""
+    reparsed = parse_xml(serialize(document))
+    assert len(reparsed) == len(document)
+    for original, copy in zip(document, reparsed):
+        assert original.tag == copy.tag
+        assert original.region == copy.region
+        assert original.parent_id == copy.parent_id
+        assert original.text == copy.text
+        assert original.attributes == copy.attributes
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute_also_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+
+class TestSerialize:
+    def test_empty_element(self):
+        assert serialize(parse_xml("<a/>")) == "<a/>\n"
+
+    def test_text_element(self):
+        assert serialize(parse_xml("<a>hi</a>")) == "<a>hi</a>\n"
+
+    def test_attributes(self):
+        out = serialize(parse_xml('<a k="v" n="2"/>'))
+        assert out == '<a k="v" n="2"/>\n'
+
+    def test_indentation(self):
+        out = serialize(parse_xml("<a><b><c/></b></a>"))
+        assert out == "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n"
+
+    def test_write_xml_adds_declaration(self):
+        stream = io.StringIO()
+        write_xml(parse_xml("<a/>"), stream)
+        assert stream.getvalue().startswith("<?xml")
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        roundtrip_equal(parse_xml("<a><b>x</b><c k='1'/></a>"))
+
+    def test_personnel(self, small_document):
+        roundtrip_equal(small_document)
+
+    def test_special_characters(self):
+        roundtrip_equal(parse_xml(
+            '<a note="&lt;&amp;&quot;">x &lt; y &amp; z</a>'))
+
+    def test_generated_workload(self):
+        from repro.workloads import personnel_document
+
+        roundtrip_equal(personnel_document(target_nodes=120, seed=5))

@@ -1,0 +1,107 @@
+"""Unit tests for the status/move search space (Definitions 1-6)."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.core.status import ANY_ORDER, Status, StatusNode
+
+
+class TestStatusNode:
+    def test_singleton(self):
+        node = StatusNode(frozenset({2}), 2)
+        assert node.is_singleton
+        assert node.ordered_by == 2
+
+    def test_ordered_by_must_be_member(self):
+        with pytest.raises(OptimizerError):
+            StatusNode(frozenset({1, 2}), 5)
+
+    def test_any_order_allowed(self):
+        node = StatusNode(frozenset({0, 1, 2}), ANY_ORDER)
+        assert node.ordered_by == ANY_ORDER
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(OptimizerError):
+            StatusNode(frozenset(), 0)
+
+    def test_equality_and_hash(self):
+        assert StatusNode(frozenset({1, 2}), 1) == StatusNode(
+            frozenset({2, 1}), 1)
+        assert StatusNode(frozenset({1, 2}), 1) != StatusNode(
+            frozenset({1, 2}), 2)
+
+    def test_str_marks_ordered_node(self):
+        assert str(StatusNode(frozenset({1, 2}), 2)) == "{1,[2]}"
+
+
+class TestStatus:
+    def test_start_status(self, running_example_pattern):
+        start = Status.start(running_example_pattern)
+        assert len(start.clusters) == 6
+        assert all(cluster.is_singleton for cluster in start.clusters)
+        assert start.level(running_example_pattern) == 0
+        assert not start.is_final()
+
+    def test_overlapping_clusters_rejected(self):
+        with pytest.raises(OptimizerError, match="overlap"):
+            Status(frozenset({
+                StatusNode(frozenset({0, 1}), 0),
+                StatusNode(frozenset({1, 2}), 1),
+            }))
+
+    def test_cluster_of(self, running_example_pattern):
+        start = Status.start(running_example_pattern)
+        assert start.cluster_of(3).nodes == frozenset({3})
+        with pytest.raises(OptimizerError):
+            start.cluster_of(99)
+
+    def test_remaining_edges(self, running_example_pattern):
+        start = Status.start(running_example_pattern)
+        assert len(list(start.remaining_edges(running_example_pattern))
+                   ) == 5
+        merged = Status(frozenset({
+            StatusNode(frozenset({0, 1}), 0),
+            StatusNode(frozenset({2}), 2),
+            StatusNode(frozenset({3}), 3),
+            StatusNode(frozenset({4}), 4),
+            StatusNode(frozenset({5}), 5),
+        }))
+        remaining = {(edge.parent, edge.child)
+                     for edge in merged.remaining_edges(
+                         running_example_pattern)}
+        assert remaining == {(1, 2), (0, 3), (3, 4), (4, 5)}
+
+    def test_level_counts_merges(self, running_example_pattern):
+        status = Status(frozenset({
+            StatusNode(frozenset({0, 1, 2}), 2),
+            StatusNode(frozenset({3}), 3),
+            StatusNode(frozenset({4}), 4),
+            StatusNode(frozenset({5}), 5),
+        }))
+        assert status.level(running_example_pattern) == 2
+
+    def test_final_status(self, running_example_pattern):
+        final = Status(frozenset({
+            StatusNode(frozenset(range(6)), ANY_ORDER)}))
+        assert final.is_final()
+        assert final.level(running_example_pattern) == 5
+
+    def test_growing_nodes(self, running_example_pattern):
+        start = Status.start(running_example_pattern)
+        assert start.growing_nodes() == []
+        status = Status(frozenset({
+            StatusNode(frozenset({0, 1}), 0),
+            StatusNode(frozenset({2}), 2),
+            StatusNode(frozenset({3}), 3),
+            StatusNode(frozenset({4}), 4),
+            StatusNode(frozenset({5}), 5),
+        }))
+        assert len(status.growing_nodes()) == 1
+
+    def test_status_equality_is_content_based(self,
+                                              running_example_pattern):
+        first = Status.start(running_example_pattern)
+        second = Status.start(running_example_pattern)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1

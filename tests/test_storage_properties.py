@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the storage substrate.
+
+* pages: any sequence of records that fits round-trips through the
+  slotted layout and its byte serialization;
+* element store: any document round-trips through encode/store/scan;
+* buffer pool: arbitrary operation sequences agree with a trivial
+  reference model (dict of page contents) and never exceed capacity.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.storage.pages import PAGE_SIZE, Page
+from repro.storage.store import decode_node, encode_node
+
+from tests.conftest import random_document
+
+
+class TestPageProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=300), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_records(self, records):
+        page = Page(0)
+        kept = []
+        for record in records:
+            if len(record) > page.free_space:
+                break
+            page.insert(record)
+            kept.append(record)
+        assert page.records() == kept
+        clone = Page(0, bytearray(page.to_bytes()))
+        assert clone.records() == kept
+
+    @given(st.lists(st.binary(min_size=1, max_size=200), min_size=1,
+                    max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_free_space_accounting(self, records):
+        page = Page(0)
+        for record in records:
+            if len(record) > page.free_space:
+                break
+            before = page.free_space
+            page.insert(record)
+            assert page.free_space == before - len(record) - 4
+        assert page.free_space >= 0
+        assert len(page.to_bytes()) == PAGE_SIZE
+
+
+class TestStoreProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_node_encoding_roundtrip(self, seed):
+        document = random_document(seed % 100, size=20)
+        for node in document:
+            assert decode_node(encode_node(node)) == node
+
+
+class TestBufferPoolModel:
+    @given(st.lists(
+        st.tuples(st.sampled_from(("fetch", "write", "flush")),
+                  st.integers(min_value=0, max_value=5)),
+        max_size=60),
+        st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_pool_agrees_with_reference_model(self, operations,
+                                              capacity):
+        disk = InMemoryDisk()
+        pool = BufferPool(disk, capacity=capacity)
+        page_ids = [disk.allocate() for _ in range(6)]
+        model: dict[int, list[bytes]] = {pid: [] for pid in page_ids}
+        counter = 0
+
+        for action, index in operations:
+            page_id = page_ids[index]
+            if action == "fetch":
+                page = pool.fetch(page_id)
+                assert page.records() == model[page_id]
+                pool.unpin(page_id)
+            elif action == "write":
+                page = pool.fetch(page_id)
+                payload = f"rec-{counter}".encode()
+                counter += 1
+                if len(payload) <= page.free_space:
+                    page.insert(payload)
+                    model[page_id].append(payload)
+                pool.unpin(page_id, dirty=True)
+            else:
+                pool.flush()
+            assert len(pool) <= capacity
+
+        pool.flush()
+        for page_id in page_ids:
+            assert disk.read_page(page_id).records() == model[page_id]

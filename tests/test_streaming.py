@@ -1,0 +1,83 @@
+"""Tests for streaming execution and first-result latency (Sec. 3.4)."""
+
+import pytest
+
+from repro.api import Database
+from repro.core.pattern import Axis
+from repro.core.plans import (IndexScanPlan, JoinAlgorithm, SortPlan,
+                              StructuralJoinPlan)
+from repro.engine.context import EngineContext
+from repro.engine.executor import Executor
+from repro.workloads import personnel_document
+
+
+@pytest.fixture(scope="module")
+def database():
+    return Database.from_document(personnel_document(target_nodes=1500))
+
+
+@pytest.fixture(scope="module")
+def pattern(database):
+    return database.compile("//manager//employee/name")
+
+
+def fp_plan():
+    inner = StructuralJoinPlan(
+        IndexScanPlan(1), IndexScanPlan(2), 1, 2, Axis.CHILD,
+        JoinAlgorithm.STACK_TREE_ANC)  # ordered by 1
+    return StructuralJoinPlan(
+        IndexScanPlan(0), inner, 0, 1, Axis.DESCENDANT,
+        JoinAlgorithm.STACK_TREE_DESC)  # ordered by 1
+
+
+def blocking_plan():
+    inner = StructuralJoinPlan(
+        IndexScanPlan(0), IndexScanPlan(1), 0, 1, Axis.DESCENDANT,
+        JoinAlgorithm.STACK_TREE_DESC)  # ordered by 1
+    joined = StructuralJoinPlan(
+        inner, IndexScanPlan(2), 1, 2, Axis.CHILD,
+        JoinAlgorithm.STACK_TREE_DESC)  # ordered by 2
+    return SortPlan(joined, 0)  # top-level blocking sort
+
+
+class TestTimeToFirst:
+    def test_counts_and_ordering(self, database, pattern):
+        executor = Executor(
+            EngineContext(database.index, database.store,
+                          database.document), pattern)
+        timing = executor.time_to_first(fp_plan(), results=5)
+        assert timing.first_count == 5
+        assert timing.total_count > 5
+        assert 0 < timing.first_seconds <= timing.total_seconds
+
+    def test_pipelined_beats_blocking_to_first_tuple(self, database,
+                                                     pattern):
+        executor = Executor(
+            EngineContext(database.index, database.store,
+                          database.document), pattern)
+        pipelined = executor.time_to_first(fp_plan())
+        blocked = executor.time_to_first(blocking_plan())
+        assert pipelined.total_count == blocked.total_count
+        # the blocking plan cannot emit anything before its sort has
+        # consumed the entire input
+        assert blocked.first_seconds > 0.5 * blocked.total_seconds
+        # the pipelined plan's first tuple arrives early in its run
+        assert pipelined.first_seconds < 0.7 * pipelined.total_seconds
+        assert pipelined.first_seconds < blocked.first_seconds
+
+    def test_fewer_results_than_requested(self, database):
+        sparse = database.compile("//department/phone")
+        executor = Executor(
+            EngineContext(database.index, database.store,
+                          database.document), sparse)
+        plan = StructuralJoinPlan(
+            IndexScanPlan(0), IndexScanPlan(1), 0, 1, Axis.CHILD,
+            JoinAlgorithm.STACK_TREE_DESC)
+        timing = executor.time_to_first(plan, results=10**9)
+        assert timing.first_count == timing.total_count
+
+    def test_database_facade(self, database, pattern):
+        timing = database.time_to_first(pattern, algorithm="FP",
+                                        results=3)
+        assert timing.first_count == 3
+        assert timing.first_seconds < timing.total_seconds

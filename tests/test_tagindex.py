@@ -1,0 +1,67 @@
+"""Unit tests for the tag index."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.document.node import NodeRecord, Region
+from repro.document.parser import parse_xml
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.storage.tagindex import TagIndex
+
+
+@pytest.fixture
+def index():
+    return TagIndex(BufferPool(InMemoryDisk(), capacity=16))
+
+
+class TestTagIndex:
+    def test_index_document(self, index, small_document):
+        index.index_document(small_document)
+        assert index.count("manager") == 3
+        assert index.count("employee") == 5
+        assert index.count("zzz") == 0
+
+    def test_postings_in_document_order(self, index, small_document):
+        index.index_document(small_document)
+        postings = index.regions("employee")
+        assert [r.start for r in postings] == sorted(
+            r.start for r in postings)
+        expected = [node.region for node in
+                    small_document.nodes_with_tag("employee")]
+        assert postings == expected
+
+    def test_postings_carry_full_region(self, index, small_document):
+        index.index_document(small_document)
+        by_start = {node.start: node for node in small_document}
+        for region in index.scan("manager"):
+            node = by_start[region.start]
+            assert region == node.region
+
+    def test_out_of_order_add_rejected(self, index):
+        index.add(NodeRecord(5, "a", Region(5, 6, 1), parent_id=0))
+        with pytest.raises(StorageError, match="document order"):
+            index.add(NodeRecord(3, "a", Region(3, 4, 1), parent_id=0))
+
+    def test_tags_listing(self, index, small_document):
+        index.index_document(small_document)
+        assert "manager" in index.tags()
+        assert index.tags() == sorted(index.tags())
+
+    def test_large_posting_list_spans_pages(self, index):
+        document = parse_xml(
+            "<r>" + "<n/>" * 3000 + "</r>")
+        index.index_document(document)
+        assert index.count("n") == 3000
+        assert index.page_count("n") > 1
+        postings = index.regions("n")
+        assert len(postings) == 3000
+        assert [r.start for r in postings] == list(range(1, 3001))
+
+    def test_scan_missing_tag_is_empty(self, index):
+        assert list(index.scan("nothing")) == []
+
+    def test_page_count_total(self, index, small_document):
+        index.index_document(small_document)
+        assert index.page_count() == sum(
+            index.page_count(tag) for tag in index.tags())

@@ -1,0 +1,111 @@
+"""Correctness tests for the holistic twig join (TwigStack)."""
+
+import pytest
+
+from repro.api import Database
+from repro.core.pattern import QueryPattern
+from repro.document.parser import parse_xml
+from repro.engine.nestedloop import naive_pattern_matches
+
+from tests.conftest import random_document
+
+
+def oracle_keys(document, pattern):
+    return {tuple(binding[k].start for k in sorted(binding))
+            for binding in naive_pattern_matches(document, pattern)}
+
+
+PATTERNS = {
+    "single": {"nodes": ["manager"], "edges": []},
+    "pair_ad": {"nodes": ["manager", "employee"],
+                "edges": [(0, 1, "//")]},
+    "pair_pc": {"nodes": ["manager", "employee"],
+                "edges": [(0, 1, "/")]},
+    "path": {"nodes": ["manager", "employee", "name"],
+             "edges": [(0, 1, "//"), (1, 2, "/")]},
+    "twig": {"nodes": ["manager", "employee", "department"],
+             "edges": [(0, 1, "//"), (0, 2, "//")]},
+    "running": {"nodes": ["manager", "employee", "name", "manager",
+                          "department", "name"],
+                "edges": [(0, 1, "//"), (1, 2, "/"), (0, 3, "//"),
+                          (3, 4, "/"), (4, 5, "/")]},
+}
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def test_matches_oracle_on_personnel(small_database, small_document,
+                                     name):
+    pattern = QueryPattern.build(PATTERNS[name])
+    result = small_database.holistic_query(pattern)
+    assert result.canonical() == oracle_keys(small_document, pattern)
+
+
+def test_matches_binary_join_plans(small_database,
+                                   running_example_pattern):
+    binary = small_database.query(running_example_pattern)
+    holistic = small_database.holistic_query(running_example_pattern)
+    assert holistic.canonical() == binary.execution.canonical()
+    assert len(holistic) == len(binary)
+
+
+def test_self_join_pattern(small_database, small_document):
+    pattern = QueryPattern.build({
+        "nodes": ["manager", "manager", "name"],
+        "edges": [(0, 1, "//"), (1, 2, "/")],
+    })
+    result = small_database.holistic_query(pattern)
+    assert result.canonical() == oracle_keys(small_document, pattern)
+
+
+def test_no_matches(small_database):
+    pattern = QueryPattern.build({
+        "nodes": ["name", "manager"], "edges": [(0, 1, "//")]})
+    assert len(small_database.holistic_query(pattern)) == 0
+
+
+def test_missing_tag(small_database):
+    pattern = QueryPattern.build({
+        "nodes": ["manager", "unicorn"], "edges": [(0, 1, "//")]})
+    assert len(small_database.holistic_query(pattern)) == 0
+
+
+def test_predicates_respected(small_database, small_document):
+    pattern = small_database.compile(
+        "//manager[.//department]/employee[name = 'Bob Baker']")
+    result = small_database.holistic_query(pattern)
+    assert result.canonical() == oracle_keys(small_document, pattern)
+    assert len(result) >= 1
+
+
+def test_metrics_populated(small_database, running_example_pattern):
+    result = small_database.holistic_query(running_example_pattern)
+    metrics = result.metrics
+    assert metrics.index_items > 0
+    assert metrics.stack_tuple_ops > 0
+    assert metrics.output_tuples == len(result)
+    assert metrics.wall_seconds > 0
+
+
+def test_phase1_skips_useless_elements(small_database):
+    """TwigStack's look-ahead should push fewer elements than the
+    total candidate count when many candidates are irrelevant."""
+    pattern = small_database.compile("//department/employee/name")
+    result = small_database.holistic_query(pattern)
+    assert result.metrics.stack_tuple_ops < result.metrics.index_items
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_documents_random_patterns(seed):
+    document = random_document(seed, size=35)
+    database = Database.from_document(document)
+    patterns = [
+        {"nodes": ["a", "b"], "edges": [(0, 1, "//")]},
+        {"nodes": ["a", "b", "c"], "edges": [(0, 1, "//"), (0, 2, "/")]},
+        {"nodes": ["a", "b", "c", "d"],
+         "edges": [(0, 1, "//"), (1, 2, "/"), (0, 3, "//")]},
+        {"nodes": ["b", "a", "a"], "edges": [(0, 1, "/"), (1, 2, "//")]},
+    ]
+    for spec in patterns:
+        pattern = QueryPattern.build(spec)
+        result = database.holistic_query(pattern)
+        assert result.canonical() == oracle_keys(document, pattern), spec

@@ -1,0 +1,113 @@
+"""Tests for value-based joins and grouping (the Sec. 6 extension)."""
+
+import pytest
+
+from repro.api import Database
+from repro.errors import PlanError
+from repro.document.parser import parse_xml
+from repro.engine.valuejoin import (ValueJoin, group_counts,
+                                    group_matches)
+
+XML = """
+<site>
+  <people>
+    <person><name>Ada</name><city>Paris</city></person>
+    <person><name>Bob</name><city>Oslo</city></person>
+    <person><name>Cat</name><city>Paris</city></person>
+  </people>
+  <orders>
+    <order ref="Ada"><item>pen</item></order>
+    <order ref="Ada"><item>ink</item></order>
+    <order ref="Cat"><item>pad</item></order>
+    <order ref="Zed"><item>nib</item></order>
+  </orders>
+</site>
+"""
+
+
+@pytest.fixture(scope="module")
+def database():
+    return Database.from_document(parse_xml(XML))
+
+
+class TestValueJoin:
+    def test_text_to_attribute_join(self, database):
+        # person names joined with order @ref values
+        result = database.value_join(
+            "//person/name", "//orders/order",
+            left_node=1, right_node=1, right_attribute="ref")
+        # Ada x2 orders + Cat x1 = 3 joined rows
+        assert len(result) == 3
+        keys = result.keys(database.document, 1)
+        assert sorted(keys) == ["Ada", "Ada", "Cat"]
+
+    def test_text_to_text_join(self, database):
+        # self-join of names on equal text: each name matches itself
+        result = database.value_join(
+            "//person/name", "//person/name",
+            left_node=1, right_node=1)
+        assert len(result) == 3
+
+    def test_join_with_structural_context(self, database):
+        # only people in Paris, joined with their orders
+        result = database.value_join(
+            "//person[city = 'Paris']/name", "//order",
+            left_node=2, right_node=0, right_attribute="ref")
+        keys = result.keys(database.document, 2)
+        assert sorted(keys) == ["Ada", "Ada", "Cat"]
+
+    def test_no_matches(self, database):
+        result = database.value_join(
+            "//person/city", "//order", left_node=1, right_node=0,
+            right_attribute="ref")
+        assert len(result) == 0
+
+    def test_unbound_node_rejected(self, database):
+        left = database.query("//person/name").execution
+        right = database.query("//order").execution
+        join = ValueJoin(database.document, left_node=9, right_node=0)
+        with pytest.raises(PlanError, match="left side"):
+            join.join(left, right)
+        join = ValueJoin(database.document, left_node=1, right_node=9)
+        with pytest.raises(PlanError, match="right side"):
+            join.join(left, right)
+
+    def test_metrics_charged(self, database):
+        result = database.value_join(
+            "//person/name", "//order", left_node=1, right_node=0,
+            right_attribute="ref")
+        assert result.metrics.index_items == 3 + 4  # one probe per tuple
+        assert result.metrics.output_tuples == len(result)
+
+
+class TestGrouping:
+    def test_group_matches_by_ancestor(self, database):
+        execution = database.query("//person/*").execution
+        groups = group_matches(execution, by_node=0)
+        assert len(groups) == 3  # three persons
+        assert all(len(rows) == 2 for rows in groups.values())
+
+    def test_group_counts(self, database):
+        execution = database.query("//orders/order").execution
+        counts = group_counts(execution, by_node=0)
+        (orders_region,) = counts.keys()
+        assert counts[orders_region] == 4
+
+    def test_group_keys_are_document_ordered_regions(self, database):
+        execution = database.query("//person/name").execution
+        groups = group_matches(execution, by_node=0)
+        starts = sorted(region.start for region in groups)
+        persons = database.document.nodes_with_tag("person")
+        assert starts == [person.start for person in persons]
+
+    def test_grouping_personnel_scenario(self, small_database):
+        """Employees per manager — the kind of aggregate the paper's
+        Sec. 6 grouping would feed."""
+        execution = small_database.query("//manager/employee").execution
+        counts = group_counts(execution, by_node=0)
+        document = small_database.document
+        for region, count in counts.items():
+            manager = document.node(region.start)
+            direct = [child for child in document.children(manager)
+                      if child.tag == "employee"]
+            assert count == len(direct)

@@ -1,0 +1,166 @@
+"""Tests for the XPath lexer, parser and pattern compiler."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.core.pattern import Axis
+from repro.xpath import compile_xpath, parse_xpath, tokenize
+from repro.xpath.lexer import TokenKind
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [token.kind for token in tokenize("//a/b[@k='v']")]
+        assert kinds == [
+            TokenKind.DOUBLE_SLASH, TokenKind.NAME, TokenKind.SLASH,
+            TokenKind.NAME, TokenKind.LBRACKET, TokenKind.AT,
+            TokenKind.NAME, TokenKind.OPERATOR, TokenKind.LITERAL,
+            TokenKind.RBRACKET, TokenKind.END]
+
+    def test_operators(self):
+        tokens = tokenize("a >= '1'")
+        assert tokens[1].value == ">="
+        tokens = tokenize("a != '1'")
+        assert tokens[1].value == "!="
+
+    def test_text_function(self):
+        tokens = tokenize("a[text() = 'x']")
+        assert TokenKind.TEXT_FN in [token.kind for token in tokens]
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("a[@n = 42]")
+        assert tokens[-3].kind is TokenKind.NUMBER
+        assert tokens[-3].value == "42"
+
+    def test_and_keyword(self):
+        tokens = tokenize("a[b and c]")
+        assert TokenKind.AND in [token.kind for token in tokens]
+
+    def test_unterminated_string(self):
+        with pytest.raises(XPathSyntaxError, match="unterminated"):
+            tokenize("a[@k = 'oops]")
+
+    def test_lone_bang(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a[@k ! 'x']")
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError, match="unexpected"):
+            tokenize("a[#]")
+
+
+class TestParser:
+    def test_simple_path(self):
+        path = parse_xpath("/a/b//c")
+        assert [step.name for step in path.steps] == ["a", "b", "c"]
+        assert [step.axis for step in path.steps] == [
+            "child", "child", "descendant"]
+
+    def test_leading_double_slash(self):
+        path = parse_xpath("//a")
+        assert path.steps[0].axis == "descendant"
+
+    def test_wildcard_step(self):
+        path = parse_xpath("//*/b")
+        assert path.steps[0].name == "*"
+
+    def test_attribute_predicate(self):
+        path = parse_xpath("//a[@year >= '2000']")
+        (comparison,) = path.steps[0].comparisons
+        assert comparison.subject == "attribute"
+        assert comparison.attribute == "year"
+        assert comparison.op == ">="
+
+    def test_text_predicate(self):
+        path = parse_xpath("//a[text() = 'x']")
+        (comparison,) = path.steps[0].comparisons
+        assert comparison.subject == "text"
+
+    def test_dot_comparison(self):
+        path = parse_xpath("//a[. = 'x']")
+        (comparison,) = path.steps[0].comparisons
+        assert comparison.subject == "text"
+
+    def test_nested_path_predicate(self):
+        path = parse_xpath("//a[.//b/c]")
+        (predicate,) = path.steps[0].paths
+        assert [step.name for step in predicate.path.steps] == ["b", "c"]
+        assert predicate.path.steps[0].axis == "descendant"
+
+    def test_bare_relative_predicate_defaults_to_child(self):
+        path = parse_xpath("//a[b]")
+        (predicate,) = path.steps[0].paths
+        assert predicate.path.steps[0].axis == "child"
+
+    def test_predicate_with_trailing_comparison(self):
+        path = parse_xpath("//a[b = 'x']")
+        (predicate,) = path.steps[0].paths
+        assert predicate.comparison is not None
+        assert predicate.comparison.value == "x"
+
+    def test_and_conjunction(self):
+        path = parse_xpath("//a[b and @k = '1' and .//c]")
+        step = path.steps[0]
+        assert len(step.paths) == 2
+        assert len(step.comparisons) == 1
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XPathSyntaxError, match="trailing"):
+            parse_xpath("//a]")
+
+    def test_empty_expression(self):
+        with pytest.raises(XPathSyntaxError, match="empty"):
+            parse_xpath("   ")
+
+    def test_missing_name(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("//")
+
+    def test_unclosed_bracket(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("//a[b")
+
+
+class TestCompiler:
+    def test_chain_compilation(self):
+        pattern = compile_xpath("//manager/employee")
+        assert len(pattern) == 2
+        assert pattern.edge_between(0, 1).axis is Axis.CHILD
+        assert pattern.order_by == 1
+
+    def test_branching_predicates(self):
+        pattern = compile_xpath(
+            "//manager[.//employee/name]//department/name")
+        assert len(pattern) == 5
+        # root manager; employee+name as one branch; department/name
+        assert sorted(pattern.children(0)) == [1, 3]
+        assert pattern.edge_between(0, 3).axis is Axis.DESCENDANT
+        assert pattern.order_by == 4  # the final name step
+
+    def test_value_predicates_attached(self):
+        pattern = compile_xpath("//book[@year >= '2000']/title")
+        (predicate,) = pattern.node(0).predicates
+        assert predicate.name == "year"
+        assert predicate.op == ">="
+
+    def test_trailing_comparison_lands_on_nested_step(self):
+        pattern = compile_xpath("//book[author = 'Knuth']/title")
+        author = pattern.node(1)
+        assert author.tag == "author"
+        (predicate,) = author.predicates
+        assert predicate.value == "Knuth"
+
+    def test_order_by_optional(self):
+        pattern = compile_xpath("//a/b", order_by_result=False)
+        assert pattern.order_by is None
+
+    def test_execution_matches_navigational(self, small_database,
+                                            small_document):
+        from repro.engine.nestedloop import navigational_matches
+
+        xpath = "//manager[.//department/name]/employee/name"
+        pattern = compile_xpath(xpath, order_by_result=False)
+        result = small_database.query(pattern)
+        oracle = navigational_matches(small_document, pattern)
+        expected = {tuple(b[k].start for k in sorted(b)) for b in oracle}
+        assert result.execution.canonical() == expected
