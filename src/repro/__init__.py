@@ -28,6 +28,7 @@ from repro.document import DocumentBuilder, XmlDocument, parse_xml, serialize
 from repro.engine import ExecutionResult
 from repro.errors import ReproError
 from repro.estimation import ExactEstimator, PositionalEstimator
+from repro.service import PlanCache, QueryService
 from repro.xpath import compile_xpath
 
 __version__ = "1.0.0"
@@ -59,6 +60,8 @@ __all__ = [
     "ReproError",
     "ExactEstimator",
     "PositionalEstimator",
+    "PlanCache",
+    "QueryService",
     "compile_xpath",
     "__version__",
 ]

@@ -9,6 +9,9 @@ and exposes the three operations a user of this library needs:
   pattern (or an XPath string)
 * :meth:`Database.execute` / :meth:`Database.query` — run a plan and
   return matches with full execution metrics
+* :meth:`Database.query_many` / :meth:`Database.stats` — serve query
+  batches concurrently with plan caching, and observe the service
+  (latency percentiles, cache hit rate, aggregate engine counters)
 
 Example::
 
@@ -23,6 +26,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import ReproError
 from repro.core.cost import CostFactors, CostModel
@@ -37,6 +41,7 @@ from repro.engine.executor import ExecutionResult, Executor
 from repro.estimation.estimator import (CardinalityEstimator,
                                         ExactEstimator,
                                         PositionalEstimator)
+from repro.service.service import QueryService
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, InMemoryDisk
 from repro.storage.store import ElementStore
@@ -87,6 +92,10 @@ class Database:
         self.document: XmlDocument | None = None
         self._estimator: PositionalEstimator | None = None
         self._exact_estimator: ExactEstimator | None = None
+        #: bumped whenever the document (and thus the statistics the
+        #: optimizer plans with) changes; part of every plan-cache key.
+        self.statistics_epoch = 0
+        self._service: "QueryService | None" = None
 
     # -- construction ----------------------------------------------------------
 
@@ -121,6 +130,26 @@ class Database:
         self._estimator = PositionalEstimator.from_document(
             document, grid=self.histogram_grid)
         self._exact_estimator = None
+        self.statistics_epoch += 1
+        if self._service is not None:
+            self._service.invalidate()
+
+    def reload(self, document: XmlDocument) -> None:
+        """Replace the loaded document.
+
+        Rebuilds the element store, tag index and statistics from
+        *document*, bumps the statistics epoch and invalidates every
+        cached plan — plans costed against the old statistics must
+        never serve the new data.
+        """
+        self._require_document()
+        self.pool.clear()
+        self.store = ElementStore(self.pool)
+        self.index = TagIndex(self.pool)
+        self.document = None
+        self._estimator = None
+        self._exact_estimator = None
+        self.load(document)
 
     def _require_document(self) -> XmlDocument:
         if self.document is None:
@@ -247,6 +276,50 @@ class Database:
                                      **options)
         execution = self.execute(optimization.plan, pattern)
         return QueryResult(optimization=optimization, execution=execution)
+
+    # -- serving -----------------------------------------------------------
+
+    @property
+    def service(self) -> QueryService:
+        """The (lazily created) plan-caching query service."""
+        if self._service is None:
+            self._service = QueryService(self)
+        return self._service
+
+    def query_many(self, queries: Sequence[str | QueryPattern],
+                   algorithm: str = "DPP",
+                   workers: int | None = None,
+                   **options: object) -> list[QueryResult]:
+        """Execute a batch of queries concurrently, in input order.
+
+        Optimization is amortized through the service's plan cache:
+        repeated (isomorphic) patterns are optimized once per
+        statistics epoch, including across threads — cache misses are
+        single-flight.  ``workers=None`` uses the service default.
+        """
+        return self.service.query_many(queries, algorithm=algorithm,
+                                       workers=workers, **options)
+
+    def stats(self) -> dict[str, object]:
+        """Service-level metrics snapshot plus storage statistics.
+
+        Keys: ``queries``, ``errors``, ``latency`` (p50/p95/p99 …),
+        ``plan_cache`` (hit rate, size, evictions), ``engine``
+        (aggregate cost-model counters), ``buffer_pool`` and, when a
+        document is loaded, ``storage``.
+        """
+        snapshot = self.service.snapshot()
+        snapshot["buffer_pool"] = {
+            "hits": self.pool.stats.hits,
+            "misses": self.pool.stats.misses,
+            "evictions": self.pool.stats.evictions,
+            "hit_rate": self.pool.stats.hit_rate,
+            "resident_pages": len(self.pool),
+            "pinned_pages": len(self.pool.pinned_pages()),
+        }
+        if self.document is not None:
+            snapshot["storage"] = self.statistics()
+        return snapshot
 
     def time_to_first(self, query: str | QueryPattern,
                       algorithm: str = "FP", results: int = 1,

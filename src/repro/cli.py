@@ -73,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the chosen plan")
     query.add_argument("--limit", type=int, default=10,
                        help="result rows to print (0 = none)")
+    query.add_argument("--repeat", type=int, default=1,
+                       help="serve the query N times through the "
+                            "plan-caching service")
+    query.add_argument("--workers", type=int, default=1,
+                       help="thread-pool width for --repeat batches")
 
     explain = commands.add_parser(
         "explain", help="compare the plans all algorithms pick")
@@ -119,12 +124,39 @@ def _open_database(arguments: argparse.Namespace) -> Database:
         dataset_document(arguments.dataset, **kwargs))
 
 
+def _write_service_stats(database: Database, out: IO[str]) -> None:
+    snapshot = database.stats()
+    latency = snapshot["latency"]
+    cache = snapshot["plan_cache"]
+    out.write(f"service: {snapshot['queries']} queries, "
+              f"p50 {latency['p50_seconds'] * 1e3:.2f} ms, "
+              f"p95 {latency['p95_seconds'] * 1e3:.2f} ms\n")
+    out.write(f"plan cache: hit rate {cache['hit_rate']:.2%} "
+              f"({cache['hits']} hits / {cache['misses']} misses, "
+              f"{cache['size']}/{cache['capacity']} entries)\n")
+
+
 def _command_query(arguments: argparse.Namespace, out: IO[str]) -> int:
     database = _open_database(arguments)
     pattern = database.compile(arguments.xpath)
+    if arguments.repeat < 1:
+        raise ReproError("--repeat must be at least 1")
     if arguments.holistic:
         execution = database.holistic_query(pattern)
         out.write(f"{len(execution)} matches (holistic twig join)\n")
+    elif arguments.repeat > 1 or arguments.workers > 1:
+        results = database.query_many(
+            [pattern] * arguments.repeat,
+            algorithm=arguments.algorithm,
+            workers=arguments.workers)
+        result = results[0]
+        execution = result.execution
+        out.write(f"{len(execution)} matches "
+                  f"({arguments.algorithm} x{arguments.repeat}, "
+                  f"{arguments.workers} workers)\n")
+        if arguments.explain:
+            out.write(result.explain() + "\n")
+        _write_service_stats(database, out)
     else:
         result = database.query(pattern, algorithm=arguments.algorithm)
         execution = result.execution

@@ -1,4 +1,15 @@
-"""Shared execution context: storage handles + metrics."""
+"""Shared execution context: storage handles + metrics.
+
+A context created by the API layer is *shared* state: the tag index,
+element store and document it references are used by every execution
+against the database.  Metrics, by contrast, are *per-execution*
+state: two plans running at the same time (the concurrent serving
+path, :meth:`repro.api.Database.query_many`) must never write into
+the same counters.  :meth:`EngineContext.for_run` hands each
+execution its own run-scoped context — same storage handles, fresh
+:class:`~repro.engine.metrics.ExecutionMetrics` — and the caller
+merges the run's counters into aggregate totals explicitly.
+"""
 
 from __future__ import annotations
 
@@ -24,9 +35,25 @@ class EngineContext:
         self.tag_index = tag_index
         self.element_store = element_store
         self.document = document
-        self.metrics = ExecutionMetrics(factors=factors or CostFactors())
+        self.factors = factors or CostFactors()
+        self.metrics = ExecutionMetrics(factors=self.factors)
+
+    def for_run(self) -> "EngineContext":
+        """A run-scoped context: shared storage, private metrics.
+
+        Operators capture ``context.metrics`` at build time, so every
+        execution must build its operator tree against its own run
+        context — otherwise concurrent runs cross-pollute counters.
+        """
+        return EngineContext(self.tag_index, self.element_store,
+                             self.document, factors=self.factors)
 
     def fresh_metrics(self) -> ExecutionMetrics:
-        """Reset and return the metrics object for a new run."""
-        self.metrics = ExecutionMetrics(factors=self.metrics.factors)
+        """Reset and return the metrics object for a new run.
+
+        Retained for callers that drive operators by hand; the
+        executor itself uses :meth:`for_run` so the shared context is
+        never mutated by an execution.
+        """
+        self.metrics = ExecutionMetrics(factors=self.factors)
         return self.metrics

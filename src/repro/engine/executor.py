@@ -76,15 +76,23 @@ class Executor:
         self.context = context
         self.pattern = pattern
 
-    def build(self, plan: PhysicalPlan) -> Operator:
-        """Translate a plan subtree into an operator subtree."""
+    def build(self, plan: PhysicalPlan,
+              context: EngineContext | None = None) -> Operator:
+        """Translate a plan subtree into an operator subtree.
+
+        Operators capture *context*'s metrics object; executions pass a
+        run-scoped context (:meth:`EngineContext.for_run`) so that
+        concurrent runs never share counters.
+        """
+        context = context or self.context
         if isinstance(plan, IndexScanPlan):
-            return IndexScan(self.pattern.node(plan.node_id), self.context)
+            return IndexScan(self.pattern.node(plan.node_id), context)
         if isinstance(plan, SortPlan):
-            return SortOperator(self.build(plan.child), plan.by_node)
+            return SortOperator(self.build(plan.child, context),
+                                plan.by_node)
         if isinstance(plan, StructuralJoinPlan):
-            ancestor = self.build(plan.ancestor_plan)
-            descendant = self.build(plan.descendant_plan)
+            ancestor = self.build(plan.ancestor_plan, context)
+            descendant = self.build(plan.descendant_plan, context)
             if plan.algorithm is JoinAlgorithm.STACK_TREE_ANC:
                 return StackTreeAncJoin(ancestor, descendant,
                                         plan.ancestor_node,
@@ -98,13 +106,22 @@ class Executor:
         raise PlanError(f"unknown plan node type {type(plan).__name__}")
 
     def execute(self, plan: PhysicalPlan) -> ExecutionResult:
-        """Run *plan* to completion with fresh metrics."""
-        metrics = self.context.fresh_metrics()
-        pool = self.context.tag_index.pool
+        """Run *plan* to completion with run-private metrics.
+
+        The shared context is never mutated: each execution builds its
+        operator tree against a run-scoped context, so concurrent
+        executions over one :class:`EngineContext` are safe.  Page and
+        buffer counter deltas come from the shared pool, so under
+        concurrency they attribute I/O approximately (aggregate totals
+        stay exact); the simulated-cost counters are always private.
+        """
+        run = self.context.for_run()
+        metrics = run.metrics
+        pool = run.tag_index.pool
         io_before = pool.disk.stats.snapshot()
         hits_before = pool.stats.hits
         misses_before = pool.stats.misses
-        root = self.build(plan)
+        root = self.build(plan, run)
         started = time.perf_counter()
         tuples = list(root.run())
         metrics.wall_seconds = time.perf_counter() - started
@@ -119,8 +136,7 @@ class Executor:
                       results: int = 1) -> FirstResultTiming:
         """Measure result latency: blocking operators delay the first
         tuple, pipelined plans deliver it almost immediately."""
-        self.context.fresh_metrics()
-        root = self.build(plan)
+        root = self.build(plan, self.context.for_run())
         stream = root.run()
         started = time.perf_counter()
         produced = 0

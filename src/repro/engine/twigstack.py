@@ -245,8 +245,9 @@ def holistic_matches(pattern: QueryPattern,
     """Convenience wrapper: evaluate *pattern* with one TwigStack."""
     import time
 
-    metrics = context.fresh_metrics()
-    matcher = TwigStackMatcher(pattern, context)
+    run = context.for_run()
+    metrics = run.metrics
+    matcher = TwigStackMatcher(pattern, run)
     started = time.perf_counter()
     result = matcher.run()
     metrics.wall_seconds = time.perf_counter() - started

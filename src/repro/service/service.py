@@ -1,0 +1,186 @@
+"""Concurrent query service over one :class:`~repro.api.Database`.
+
+The service is the repository's first step from "reproduction" to
+"system that serves traffic": it runs batches of queries on a thread
+pool, reuses plans through a :class:`~repro.service.cache.PlanCache`,
+and keeps service-level observability — latency percentiles, cache
+hit rate, and aggregate engine counters merged from each execution's
+private :class:`~repro.engine.metrics.ExecutionMetrics`.
+
+Thread-safety contract: the storage layer's buffer pool serializes
+frame operations internally; each execution builds its operator tree
+against a run-scoped engine context; the only shared mutable service
+state (latency reservoir, totals, counters) is guarded by one lock
+taken outside the hot operator loops.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.pattern import QueryPattern
+from repro.engine.metrics import ExecutionMetrics
+from repro.service.cache import PlanCache, cache_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import Database, QueryResult
+
+#: Latency samples kept for percentile estimation; older samples are
+#: dropped oldest-first once the reservoir is full.
+LATENCY_RESERVOIR = 8192
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of *samples* (0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, round(fraction * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class QueryService:
+    """Plan-caching, thread-pooled query execution for one database."""
+
+    def __init__(self, database: "Database",
+                 cache_capacity: int = 256,
+                 workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.database = database
+        self.cache = PlanCache(capacity=cache_capacity)
+        self.default_workers = workers
+        self._mutex = threading.Lock()
+        self._latencies: list[float] = []
+        self._engine_totals = ExecutionMetrics(
+            factors=database.cost_factors)
+        self._queries = 0
+        self._errors = 0
+
+    # -- serving ----------------------------------------------------------
+
+    def query(self, query: "str | QueryPattern",
+              algorithm: str = "DPP",
+              **options: object) -> "QueryResult":
+        """Optimize (through the cache) and execute one query."""
+        from repro.api import QueryResult
+
+        started = time.perf_counter()
+        try:
+            pattern = self.database.compile(query)
+            optimization = self.optimize_cached(pattern, algorithm,
+                                                **options)
+            execution = self.database.execute(optimization.plan, pattern)
+        except BaseException:
+            with self._mutex:
+                self._errors += 1
+            raise
+        elapsed = time.perf_counter() - started
+        with self._mutex:
+            self._queries += 1
+            self._latencies.append(elapsed)
+            if len(self._latencies) > LATENCY_RESERVOIR:
+                del self._latencies[:len(self._latencies)
+                                    - LATENCY_RESERVOIR]
+            self._engine_totals.merge(execution.metrics)
+        return QueryResult(optimization=optimization,
+                           execution=execution)
+
+    def query_many(self, queries: Sequence["str | QueryPattern"],
+                   algorithm: str = "DPP",
+                   workers: int | None = None,
+                   **options: object) -> list["QueryResult"]:
+        """Execute a batch of queries, results in input order.
+
+        With ``workers > 1`` the batch runs on a thread pool; repeated
+        patterns in the batch are optimized once (misses are
+        single-flight in the plan cache).
+        """
+        workers = self.default_workers if workers is None else workers
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if workers == 1 or len(queries) <= 1:
+            return [self.query(query, algorithm=algorithm, **options)
+                    for query in queries]
+        with ThreadPoolExecutor(
+                max_workers=min(workers, len(queries)),
+                thread_name_prefix="repro-query") as pool:
+            futures = [pool.submit(self.query, query,
+                                   algorithm=algorithm, **options)
+                       for query in queries]
+            return [future.result() for future in futures]
+
+    def optimize_cached(self, query: "str | QueryPattern",
+                        algorithm: str = "DPP", **options: object):
+        """Plan lookup with optimize-on-miss (single-flight)."""
+        pattern = self.database.compile(query)
+        key = cache_key(pattern, algorithm, dict(options),
+                        self.database.statistics_epoch)
+        return self.cache.get_or_compute(
+            key, pattern,
+            lambda: self.database.optimize(pattern, algorithm=algorithm,
+                                           **options))
+
+    # -- lifecycle --------------------------------------------------------
+
+    def invalidate(self) -> int:
+        """Drop cached plans (called on document reload)."""
+        return self.cache.invalidate()
+
+    def reset_stats(self) -> None:
+        """Zero the latency reservoir and aggregate counters."""
+        with self._mutex:
+            self._latencies.clear()
+            self._engine_totals = ExecutionMetrics(
+                factors=self.database.cost_factors)
+            self._queries = 0
+            self._errors = 0
+
+    # -- observability ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Point-in-time service metrics.
+
+        ``latency`` percentiles are in seconds over the most recent
+        :data:`LATENCY_RESERVOIR` queries; ``engine`` aggregates the
+        per-execution cost-model counters of every query served.
+        """
+        with self._mutex:
+            samples = list(self._latencies)
+            totals = self._engine_totals
+            engine = {
+                "index_items": totals.index_items,
+                "sort_count": totals.sort_count,
+                "buffered_results": totals.buffered_results,
+                "stack_tuple_ops": totals.stack_tuple_ops,
+                "output_tuples": totals.output_tuples,
+                "join_count": totals.join_count,
+                "page_reads": totals.page_reads,
+                "page_writes": totals.page_writes,
+                "simulated_cost": totals.simulated_cost(),
+                "wall_seconds": totals.wall_seconds,
+            }
+            queries = self._queries
+            errors = self._errors
+        return {
+            "queries": queries,
+            "errors": errors,
+            "latency": {
+                "p50_seconds": percentile(samples, 0.50),
+                "p95_seconds": percentile(samples, 0.95),
+                "p99_seconds": percentile(samples, 0.99),
+                "max_seconds": max(samples) if samples else 0.0,
+                "mean_seconds": (sum(samples) / len(samples)
+                                 if samples else 0.0),
+                "samples": len(samples),
+            },
+            "plan_cache": {
+                "size": len(self.cache),
+                "capacity": self.cache.capacity,
+                **self.cache.stats.snapshot(),
+            },
+            "engine": engine,
+        }

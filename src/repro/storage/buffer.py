@@ -7,10 +7,19 @@ are written back on eviction or :meth:`flush`.  Hit/miss counters make
 the pool's behaviour observable to the benchmark harness — the paper's
 experiments ran with a 16 MB SHORE pool, and buffer locality is part of
 why index scans cost what they cost.
+
+The pool is safe under concurrent readers: every operation that
+touches the frame table, pin counts, or counters runs under one
+re-entrant mutex, so the serving layer
+(:meth:`repro.api.Database.query_many`) can drive many executions over
+a single pool.  A single lock (rather than lock striping) is the right
+trade-off here: critical sections are a dict probe plus an integer
+update, far cheaper than the page decoding done outside the lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -58,62 +67,71 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self.stats = BufferStats()
+        self._mutex = threading.RLock()
         # Ordered oldest-first; move_to_end on access implements LRU.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._frames)
+        with self._mutex:
+            return len(self._frames)
 
     def fetch(self, page_id: int) -> Page:
         """Pin and return the page, reading it from disk on a miss."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
-        else:
-            self.stats.misses += 1
-            self._ensure_capacity()
-            frame = _Frame(self.disk.read_page(page_id))
-            self._frames[page_id] = frame
-        frame.pin_count += 1
-        return frame.page
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+            else:
+                self.stats.misses += 1
+                self._ensure_capacity()
+                frame = _Frame(self.disk.read_page(page_id))
+                self._frames[page_id] = frame
+            frame.pin_count += 1
+            return frame.page
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
         """Release one pin; mark the page dirty if it was modified."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise BufferPoolError(f"page {page_id} is not in the pool")
-        if frame.pin_count == 0:
-            raise BufferPoolError(f"page {page_id} is not pinned")
-        frame.pin_count -= 1
-        if dirty:
-            frame.page.dirty = True
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise BufferPoolError(f"page {page_id} is not in the pool")
+            if frame.pin_count == 0:
+                raise BufferPoolError(f"page {page_id} is not pinned")
+            frame.pin_count -= 1
+            if dirty:
+                frame.page.dirty = True
 
     def new_page(self) -> Page:
         """Allocate a fresh page on disk and pin it in the pool."""
-        page_id = self.disk.allocate()
-        self._ensure_capacity()
-        page = Page(page_id)
-        frame = _Frame(page)
-        frame.pin_count = 1
-        page.dirty = True
-        self._frames[page_id] = frame
-        return page
+        with self._mutex:
+            page_id = self.disk.allocate()
+            self._ensure_capacity()
+            page = Page(page_id)
+            frame = _Frame(page)
+            frame.pin_count = 1
+            page.dirty = True
+            self._frames[page_id] = frame
+            return page
 
     def flush(self) -> None:
         """Write all dirty pages back to disk (pages stay cached)."""
-        for frame in self._frames.values():
-            if frame.page.dirty:
-                self.disk.write_page(frame.page)
+        with self._mutex:
+            for frame in self._frames.values():
+                if frame.page.dirty:
+                    self.disk.write_page(frame.page)
 
     def clear(self) -> None:
         """Flush and drop every unpinned frame."""
-        self.flush()
-        pinned = {page_id: frame for page_id, frame in self._frames.items()
-                  if frame.pin_count > 0}
-        self._frames = OrderedDict(pinned)
+        with self._mutex:
+            self.flush()
+            pinned = {page_id: frame
+                      for page_id, frame in self._frames.items()
+                      if frame.pin_count > 0}
+            self._frames = OrderedDict(pinned)
 
     def _ensure_capacity(self) -> None:
+        # caller holds the mutex
         while len(self._frames) >= self.capacity:
             victim_id = next(
                 (page_id for page_id, frame in self._frames.items()
@@ -127,5 +145,30 @@ class BufferPool:
 
     def pinned_pages(self) -> list[int]:
         """Ids of currently pinned pages (diagnostics / tests)."""
-        return [page_id for page_id, frame in self._frames.items()
-                if frame.pin_count > 0]
+        with self._mutex:
+            return [page_id for page_id, frame in self._frames.items()
+                    if frame.pin_count > 0]
+
+    def pin_count(self, page_id: int) -> int:
+        """Current pin count of *page_id* (0 if not resident)."""
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            return frame.pin_count if frame is not None else 0
+
+    def check_invariants(self) -> None:
+        """Assert pool invariants; raises :class:`BufferPoolError`.
+
+        Intended for tests and post-batch health checks: the frame
+        count must respect capacity and no frame may hold a negative
+        pin count.
+        """
+        with self._mutex:
+            if len(self._frames) > self.capacity:
+                raise BufferPoolError(
+                    f"pool holds {len(self._frames)} frames, capacity "
+                    f"is {self.capacity}")
+            for page_id, frame in self._frames.items():
+                if frame.pin_count < 0:
+                    raise BufferPoolError(
+                        f"page {page_id} has negative pin count "
+                        f"{frame.pin_count}")

@@ -9,6 +9,8 @@ behaviour.  ``queries`` defines the four pattern shapes of Fig. 6 and
 the eight queries of Table 1.
 """
 
+from repro.workloads.generators import (make_rng, random_pattern,
+                                        random_predicate)
 from repro.workloads.personnel import personnel_document
 from repro.workloads.dblp import dblp_document
 from repro.workloads.mbench import mbench_document
@@ -19,6 +21,9 @@ from repro.workloads.queries import (PAPER_QUERIES, PATTERN_SHAPES,
                                      pattern_for)
 
 __all__ = [
+    "make_rng",
+    "random_pattern",
+    "random_predicate",
     "personnel_document",
     "dblp_document",
     "mbench_document",

@@ -56,3 +56,64 @@ def phone_number(rng: random.Random) -> str:
 def make_rng(seed: int) -> random.Random:
     """A dedicated RNG so generators never share global state."""
     return random.Random(seed)
+
+
+#: Safe predicate literal values: no quote characters, so every
+#: generated pattern renders to a parseable XPath string.
+_PREDICATE_VALUES = ("1", "2", "3", "42", "Sales", "Research", "Ada",
+                     "alpha", "beta")
+
+_PREDICATE_OPS = ("=", "!=", "<", "<=", ">", ">=", "contains")
+
+
+def random_predicate(rng: random.Random):
+    """A random value predicate with render-safe literals."""
+    from repro.core.pattern import Predicate
+
+    value = rng.choice(_PREDICATE_VALUES)
+    op = rng.choice(_PREDICATE_OPS)
+    if rng.random() < 0.5:
+        return Predicate(kind="text", op=op, value=value)
+    return Predicate(kind="attribute", op=op, value=value,
+                     name=rng.choice(("id", "kind", "aFour")))
+
+
+def random_pattern(rng: random.Random,
+                   tags: tuple[str, ...] = ("a", "b", "c", "d"),
+                   min_nodes: int = 2, max_nodes: int = 5,
+                   wildcard_chance: float = 0.0,
+                   predicate_chance: float = 0.0,
+                   order_by_chance: float = 0.5):
+    """A random tree-pattern query, deterministic for a given *rng*.
+
+    Grows a random tree shape node by node (each new node attaches
+    under a uniformly chosen existing node with a random axis), then
+    labels nodes with random tag tests, optional wildcards and
+    predicates.  The fuzz and differential harnesses drive this with
+    many seeds to cover chains, stars and bushy shapes alike.
+    """
+    from repro.core.pattern import QueryPattern
+
+    size = rng.randint(min_nodes, max_nodes)
+    nodes: list[object] = []
+    edges = []
+    for index in range(size):
+        if wildcard_chance and rng.random() < wildcard_chance:
+            tag = "*"
+        else:
+            tag = rng.choice(tags)
+        if predicate_chance and rng.random() < predicate_chance:
+            nodes.append((tag, [random_predicate(rng)]))
+        else:
+            nodes.append(tag)
+        if index:
+            parent = rng.randrange(index)
+            axis = "//" if rng.random() < 0.5 else "/"
+            edges.append((parent, index, axis))
+    order_by = (rng.randrange(size)
+                if rng.random() < order_by_chance else None)
+    return QueryPattern.build({
+        "nodes": nodes,
+        "edges": edges,
+        "order_by": order_by,
+    })

@@ -17,6 +17,9 @@ class TokenKind(enum.Enum):
     RBRACKET = "]"
     AT = "@"
     DOT = "."
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
     TEXT_FN = "text()"
     OPERATOR = "op"
     LITERAL = "literal"
@@ -69,6 +72,15 @@ def tokenize(text: str) -> list[Token]:
             position += 1
         elif char == ".":
             tokens.append(Token(TokenKind.DOT, ".", position))
+            position += 1
+        elif char == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", position))
+            position += 1
+        elif char == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", position))
+            position += 1
+        elif char == ",":
+            tokens.append(Token(TokenKind.COMMA, ",", position))
             position += 1
         elif char in _OPERATOR_STARTS:
             if text.startswith(("<=", ">=", "!="), position):

@@ -116,6 +116,11 @@ class _Parser:
             else:
                 op, value = self._parse_comparison_tail()
                 comparisons.append(ValueComparison("text", op, value))
+        elif (token.kind is TokenKind.NAME
+              and token.value == "contains"
+              and self._tokens[self._index + 1].kind
+              is TokenKind.LPAREN):
+            comparisons.append(self._parse_contains())
         elif token.kind in (TokenKind.NAME, TokenKind.STAR,
                             TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
             self._parse_relative_path_predicate(paths)
@@ -132,6 +137,34 @@ class _Parser:
             op, value = self._parse_comparison_tail()
             comparison = ValueComparison("text", op, value)
         paths.append(PathPredicate(path, comparison))
+
+    def _parse_contains(self) -> ValueComparison:
+        """``contains(text(), 'x')`` / ``contains(@attr, 'x')`` /
+        ``contains(., 'x')`` — substring match on the subject."""
+        self._advance()  # contains
+        self._expect(TokenKind.LPAREN)
+        token = self._peek()
+        if token.kind is TokenKind.AT:
+            self._advance()
+            subject, attribute = "attribute", self._expect(
+                TokenKind.NAME).value
+        elif token.kind in (TokenKind.TEXT_FN, TokenKind.DOT):
+            self._advance()
+            subject, attribute = "text", ""
+        else:
+            raise XPathSyntaxError(
+                f"contains() expects text(), '.' or an attribute, "
+                f"found {token.value!r}", token.position)
+        self._expect(TokenKind.COMMA)
+        token = self._peek()
+        if token.kind not in (TokenKind.LITERAL, TokenKind.NUMBER):
+            raise XPathSyntaxError(
+                f"expected a literal, found {token.value!r}",
+                token.position)
+        self._advance()
+        self._expect(TokenKind.RPAREN)
+        return ValueComparison(subject, "contains", token.value,
+                               attribute)
 
     def _parse_comparison_tail(self) -> tuple[str, str]:
         op = self._expect(TokenKind.OPERATOR).value

@@ -33,6 +33,8 @@ def _quote(value: str) -> str:
 def _render_predicate(predicate: Predicate) -> str:
     subject = ("text()" if predicate.kind == "text"
                else f"@{predicate.name}")
+    if predicate.op == "contains":
+        return f"contains({subject}, {_quote(predicate.value)})"
     return f"{subject} {predicate.op} {_quote(predicate.value)}"
 
 

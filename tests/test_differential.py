@@ -1,0 +1,160 @@
+"""Differential-testing harness: optimizers and engines cross-check.
+
+Two oracles over a corpus of generated patterns:
+
+* **Cost oracle** — DP and DPP both claim the global optimum, so
+  their reported plan costs must agree exactly on every pattern; FP
+  claims the optimum of the fully-pipelined subspace, so its cost must
+  match DP whenever DP's optimum is itself fully pipelined (and never
+  beat DP).
+
+* **Binding oracle** — every evaluation strategy must produce the
+  identical binding set: the optimized structural-join plan (DP and
+  DPP), a nested-loop-join plan, the brute-force matcher, and the
+  holistic TwigStack operator.  This is the binary-vs-holistic
+  cross-check the "Demythization" line of work motivates: structural
+  join plans and holistic twig joins are independent implementations
+  of the same semantics, so any disagreement is a bug in one of them.
+
+Quick mode runs ``QUICK_CORPUS`` (>= 200) patterns; the ``slow``-marked
+case widens the corpus and documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Database
+from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
+                              StructuralJoinPlan)
+from repro.engine.nestedloop import naive_pattern_matches
+from repro.workloads import make_rng, random_pattern
+from repro.workloads.personnel import personnel_document
+
+from tests.conftest import random_document
+
+QUICK_CORPUS = 220
+SLOW_CORPUS = 600
+
+#: document tags match the random-pattern tag alphabet plus noise
+DOCUMENT_SEEDS = (1, 2, 3)
+
+
+def _documents(size: int):
+    documents = [random_document(seed, size=size)
+                 for seed in DOCUMENT_SEEDS]
+    documents.append(personnel_document(target_nodes=200))
+    return documents
+
+
+def _pattern_for(document, rng):
+    """A random pattern whose tag alphabet matches *document*."""
+    tags = tuple(sorted(document.tags()))
+    return random_pattern(rng, tags=tags, min_nodes=2, max_nodes=5,
+                          wildcard_chance=0.1, order_by_chance=0.5)
+
+
+def nested_loop_plan(pattern) -> PhysicalPlan:
+    """A left-deep all-nested-loop plan — the engine baseline."""
+    plan: PhysicalPlan = IndexScanPlan(pattern.root)
+    covered = {pattern.root}
+    frontier = [pattern.root]
+    while frontier:
+        node_id = frontier.pop()
+        for edge in pattern.child_edges(node_id):
+            plan = StructuralJoinPlan(
+                plan, IndexScanPlan(edge.child),
+                edge.parent, edge.child, edge.axis,
+                JoinAlgorithm.NESTED_LOOP)
+            covered.add(edge.child)
+            frontier.append(edge.child)
+    assert covered == set(range(len(pattern)))
+    return plan
+
+
+def _check_pattern(database, pattern):
+    """Run both oracles on one (document, pattern) case.
+
+    Returns a list of disagreement descriptions (empty = pass).
+    """
+    problems: list[str] = []
+
+    dp = database.optimize(pattern, algorithm="DP")
+    dpp = database.optimize(pattern, algorithm="DPP")
+    tolerance = 1e-6 * max(1.0, abs(dp.estimated_cost))
+    if abs(dp.estimated_cost - dpp.estimated_cost) > tolerance:
+        problems.append(
+            f"DP cost {dp.estimated_cost} != DPP cost "
+            f"{dpp.estimated_cost}")
+
+    fp = database.optimize(pattern, algorithm="FP")
+    if fp.estimated_cost < dp.estimated_cost - tolerance:
+        problems.append(
+            f"FP cost {fp.estimated_cost} beats the DP optimum "
+            f"{dp.estimated_cost}")
+    if dp.plan.is_fully_pipelined and abs(
+            fp.estimated_cost - dp.estimated_cost) > tolerance:
+        problems.append(
+            f"DP optimum is fully pipelined but FP found "
+            f"{fp.estimated_cost} != {dp.estimated_cost}")
+
+    reference = database.execute(dpp.plan, pattern).canonical()
+    for name, plan in (("DP", dp.plan), ("FP", fp.plan),
+                       ("nested-loop", nested_loop_plan(pattern))):
+        bindings = database.execute(plan, pattern).canonical()
+        if bindings != reference:
+            problems.append(
+                f"{name} plan produced {len(bindings)} bindings, "
+                f"DPP produced {len(reference)}")
+
+    holistic = database.holistic_query(pattern).canonical()
+    if holistic != reference:
+        problems.append(
+            f"TwigStack produced {len(holistic)} bindings, "
+            f"structural joins produced {len(reference)}")
+
+    naive = {
+        tuple(binding[key].start for key in sorted(binding))
+        for binding in naive_pattern_matches(database.document, pattern)}
+    if naive != reference:
+        problems.append(
+            f"brute force produced {len(naive)} bindings, "
+            f"structural joins produced {len(reference)}")
+    return problems
+
+
+def _run_corpus(corpus: int, document_size: int) -> tuple[int, list]:
+    rng = make_rng(20030305)
+    disagreements: list[str] = []
+    databases = [Database.from_document(document)
+                 for document in _documents(document_size)]
+    checked = 0
+    while checked < corpus:
+        database = databases[checked % len(databases)]
+        pattern = _pattern_for(database.document, rng)
+        for problem in _check_pattern(database, pattern):
+            disagreements.append(
+                f"[doc={database.name} pattern="
+                f"{pattern.describe()!r}] {problem}")
+        checked += 1
+    return checked, disagreements
+
+
+def test_differential_quick_corpus():
+    checked, disagreements = _run_corpus(QUICK_CORPUS, document_size=48)
+    assert checked >= 200
+    assert not disagreements, "\n".join(disagreements)
+
+
+@pytest.mark.slow
+def test_differential_slow_corpus():
+    checked, disagreements = _run_corpus(SLOW_CORPUS, document_size=90)
+    assert checked >= SLOW_CORPUS
+    assert not disagreements, "\n".join(disagreements)
+
+
+def test_nested_loop_plan_covers_pattern(running_example_pattern):
+    plan = nested_loop_plan(running_example_pattern)
+    assert plan.pattern_nodes() == frozenset(
+        range(len(running_example_pattern)))
+    assert plan.join_count() == len(running_example_pattern.edges)
