@@ -37,7 +37,8 @@ from repro.core.random_plans import worst_random_plan
 from repro.document.document import XmlDocument
 from repro.document.parser import parse_xml
 from repro.engine.context import EngineContext
-from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.executor import (ExecutionResult, Executor,
+                                   validate_engine)
 from repro.estimation.estimator import (CardinalityEstimator,
                                         ExactEstimator,
                                         PositionalEstimator)
@@ -74,7 +75,12 @@ class Database:
                  disk: DiskManager | None = None,
                  buffer_capacity: int = 256,
                  cost_factors: CostFactors | None = None,
-                 histogram_grid: int = 16) -> None:
+                 histogram_grid: int = 16,
+                 engine: str = "block") -> None:
+        #: default execution mode: "block" (columnar, cached posting
+        #: decode + skip-ahead joins) or "tuple" (Volcano iterators).
+        #: Both produce identical results and cost-model counters.
+        self.engine = validate_engine(engine)
         self.name = name
         self.disk = disk or InMemoryDisk()
         self.pool = BufferPool(self.disk, capacity=buffer_capacity)
@@ -260,21 +266,28 @@ class Database:
         estimator = self.exact_estimator if exact else self.estimator
         return optimizer.optimize(pattern, estimator)
 
-    def execute(self, plan: PhysicalPlan,
-                pattern: QueryPattern) -> ExecutionResult:
-        """Run a physical plan against the stored document."""
+    def execute(self, plan: PhysicalPlan, pattern: QueryPattern,
+                engine: str | None = None) -> ExecutionResult:
+        """Run a physical plan against the stored document.
+
+        *engine* overrides the database default for this run
+        (``"block"`` or ``"tuple"``; see :data:`Database.engine`).
+        """
         self._require_document()
         context = EngineContext(self.index, self.store, self.document,
                                 factors=self.cost_factors)
-        return Executor(context, pattern).execute(plan)
+        return Executor(context, pattern,
+                        engine=engine or self.engine).execute(plan)
 
     def query(self, query: str | QueryPattern,
-              algorithm: str = "DPP", **options: object) -> QueryResult:
+              algorithm: str = "DPP", engine: str | None = None,
+              **options: object) -> QueryResult:
         """Optimize then execute in one call."""
         pattern = self.compile(query)
         optimization = self.optimize(pattern, algorithm=algorithm,
                                      **options)
-        execution = self.execute(optimization.plan, pattern)
+        execution = self.execute(optimization.plan, pattern,
+                                 engine=engine)
         return QueryResult(optimization=optimization, execution=execution)
 
     # -- serving -----------------------------------------------------------
@@ -289,16 +302,19 @@ class Database:
     def query_many(self, queries: Sequence[str | QueryPattern],
                    algorithm: str = "DPP",
                    workers: int | None = None,
+                   engine: str | None = None,
                    **options: object) -> list[QueryResult]:
         """Execute a batch of queries concurrently, in input order.
 
         Optimization is amortized through the service's plan cache:
         repeated (isomorphic) patterns are optimized once per
         statistics epoch, including across threads — cache misses are
-        single-flight.  ``workers=None`` uses the service default.
+        single-flight.  ``workers=None`` uses the service default;
+        ``engine`` overrides the database's execution mode.
         """
         return self.service.query_many(queries, algorithm=algorithm,
-                                       workers=workers, **options)
+                                       workers=workers, engine=engine,
+                                       **options)
 
     def stats(self) -> dict[str, object]:
         """Service-level metrics snapshot plus storage statistics.

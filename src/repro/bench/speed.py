@@ -1,0 +1,168 @@
+"""Engine speed benchmark: block vs tuple on the paper workloads.
+
+Measures wall-clock for both execution engines on a small ladder of
+paper queries (the hot case is the folded-Pers evaluation of
+``Q.Pers.3.d`` — the Table 3 query whose plan quality the paper
+stresses), checks that the cost-model counters agree between engines
+on every run, and emits a machine-readable report.  The report is
+written as ``BENCH_PR2.json`` by ``python -m repro bench engines
+--json`` and tracked in CI, so every PR carries a comparable number
+for the hot path.
+
+Timings are steady-state: each engine gets one warm-up execution (the
+block engine's warm-up also populates the posting decode cache — the
+cache is part of the design being measured) and the best of *repeats*
+timed runs is reported.  The cyclic garbage collector is collected
+and then disabled around every timed run — the same discipline
+:mod:`timeit` applies — because a collection triggered mid-run by the
+result materialization (hundreds of thousands of fresh tuples) adds
+tens of milliseconds of noise to whichever engine it lands on.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import platform
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bench.harness import ExperimentSetup, dataset_database
+from repro.workloads.queries import paper_query
+
+#: the cost-model counters both engines must agree on, run for run.
+PARITY_COUNTERS = ("index_items", "sort_count", "sorted_items",
+                   "sort_units", "buffered_results", "stack_tuple_ops",
+                   "output_tuples", "join_count")
+
+
+@dataclass(frozen=True)
+class SpeedWorkload:
+    """One benchmark cell: a paper query on a (folded) data set."""
+
+    name: str
+    dataset: str
+    query: str
+    folding: int
+
+
+#: the hot case (Q.Pers.3.d on folded Pers) first — its speedup is the
+#: headline number — followed by a spread over shapes and data sets.
+SPEED_WORKLOADS: tuple[SpeedWorkload, ...] = (
+    SpeedWorkload("pers-x12/Q.Pers.3.d", "pers", "Q.Pers.3.d", 12),
+    SpeedWorkload("pers-x4/Q.Pers.2.c", "pers", "Q.Pers.2.c", 4),
+    SpeedWorkload("dblp-x2/Q.DBLP.2.c", "dblp", "Q.DBLP.2.c", 2),
+    SpeedWorkload("mbench-x2/Q.Mbench.1.a", "mbench",
+                  "Q.Mbench.1.a", 2),
+)
+
+
+def measure_workload(spec: SpeedWorkload, setup: ExperimentSetup,
+                     repeats: int = 3) -> dict[str, object]:
+    """Time one workload under both engines and compare counters."""
+    database = dataset_database(spec.dataset, setup,
+                                folding=spec.folding)
+    query = paper_query(spec.query)
+    database.warm_statistics(query.pattern)
+    plan = database.optimize(query.pattern, algorithm="DPP").plan
+    seconds: dict[str, float] = {}
+    counters: dict[str, dict[str, float]] = {}
+    result_count = 0
+    for engine in ("tuple", "block"):
+        database.execute(plan, query.pattern, engine=engine)  # warm up
+        best = math.inf
+        execution = None
+        for _ in range(repeats):
+            gc.collect()
+            gc.disable()
+            try:
+                execution = database.execute(plan, query.pattern,
+                                             engine=engine)
+            finally:
+                gc.enable()
+            best = min(best, execution.metrics.wall_seconds)
+        assert execution is not None
+        seconds[engine] = best
+        counters[engine] = {counter: getattr(execution.metrics, counter)
+                            for counter in PARITY_COUNTERS}
+        result_count = len(execution)
+    return {
+        "workload": spec.name,
+        "dataset": spec.dataset,
+        "query": spec.query,
+        "folding": spec.folding,
+        "nodes": len(database.document),
+        "results": result_count,
+        "tuple_seconds": seconds["tuple"],
+        "block_seconds": seconds["block"],
+        "speedup": seconds["tuple"] / max(seconds["block"], 1e-12),
+        "counters_match": counters["tuple"] == counters["block"],
+        "counters": counters["block"],
+    }
+
+
+def engine_speed_report(setup: ExperimentSetup | None = None,
+                        repeats: int = 3,
+                        workloads: Sequence[SpeedWorkload] =
+                        SPEED_WORKLOADS) -> dict[str, object]:
+    """The full benchmark report (the ``BENCH_PR2.json`` payload)."""
+    setup = setup or ExperimentSetup()
+    cells = [measure_workload(spec, setup, repeats=repeats)
+             for spec in workloads]
+    speedups = [cell["speedup"] for cell in cells]
+    return {
+        "benchmark": "BENCH_PR2",
+        "description": "block vs tuple engine wall-clock on paper "
+                       "workloads (best of N, warm caches)",
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "setup": {
+            "pers_nodes": setup.pers_nodes,
+            "dblp_entries": setup.dblp_entries,
+            "mbench_nodes": setup.mbench_nodes,
+            "seed": setup.seed,
+        },
+        "workloads": cells,
+        "summary": {
+            "hot_case": cells[0]["workload"],
+            "hot_case_speedup": cells[0]["speedup"],
+            "geomean_speedup": math.exp(
+                sum(math.log(s) for s in speedups) / len(speedups)),
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "all_counters_match": all(cell["counters_match"]
+                                      for cell in cells),
+        },
+    }
+
+
+def render_report(report: dict[str, object]) -> str:
+    """Human-readable table of one report."""
+    lines = [
+        "Engine speed: block vs tuple "
+        f"(best of {report['repeats']}, warm caches)",
+        f"{'workload':26s} {'nodes':>7s} {'results':>8s} "
+        f"{'tuple ms':>9s} {'block ms':>9s} {'speedup':>8s} counters",
+    ]
+    for cell in report["workloads"]:
+        lines.append(
+            f"{cell['workload']:26s} {cell['nodes']:>7d} "
+            f"{cell['results']:>8d} "
+            f"{cell['tuple_seconds'] * 1e3:>9.2f} "
+            f"{cell['block_seconds'] * 1e3:>9.2f} "
+            f"{cell['speedup']:>7.2f}x "
+            f"{'match' if cell['counters_match'] else 'MISMATCH'}")
+    summary = report["summary"]
+    lines.append(
+        f"geomean {summary['geomean_speedup']:.2f}x, hot case "
+        f"{summary['hot_case']} {summary['hot_case_speedup']:.2f}x, "
+        f"counters {'all match' if summary['all_counters_match'] else 'MISMATCH'}")
+    return "\n".join(lines)
+
+
+def write_report(report: dict[str, object], path: str) -> None:
+    """Write a report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

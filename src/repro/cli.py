@@ -66,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_source(query)
     query.add_argument("xpath")
     query.add_argument("--algorithm", choices=ALGORITHMS, default="DPP")
+    query.add_argument("--engine", choices=("block", "tuple"),
+                       default="block",
+                       help="execution mode: columnar block-at-a-time "
+                            "(default) or tuple-at-a-time iterators")
     query.add_argument("--holistic", action="store_true",
                        help="evaluate with one TwigStack instead of "
                             "binary joins")
@@ -96,9 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output path ('-' for stdout)")
 
     bench = commands.add_parser(
-        "bench", help="regenerate a paper table or figure")
-    bench.add_argument("artifact", choices=sorted(BENCH_DRIVERS))
+        "bench", help="regenerate a paper table or figure, or run the "
+                      "engine speed benchmark ('engines')")
+    bench.add_argument("artifact",
+                       choices=sorted(BENCH_DRIVERS) + ["engines"])
     bench.add_argument("--pers-nodes", type=int, default=2000)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed runs per engine ('engines' only)")
+    bench.add_argument("--json", metavar="FILE", default=None,
+                       help="also write the report as JSON "
+                            "('engines' only; e.g. BENCH_PR2.json)")
 
     trace = commands.add_parser(
         "trace", help="watch DPP optimize (Example 3.6 narrative)")
@@ -148,7 +159,8 @@ def _command_query(arguments: argparse.Namespace, out: IO[str]) -> int:
         results = database.query_many(
             [pattern] * arguments.repeat,
             algorithm=arguments.algorithm,
-            workers=arguments.workers)
+            workers=arguments.workers,
+            engine=arguments.engine)
         result = results[0]
         execution = result.execution
         out.write(f"{len(execution)} matches "
@@ -158,7 +170,8 @@ def _command_query(arguments: argparse.Namespace, out: IO[str]) -> int:
             out.write(result.explain() + "\n")
         _write_service_stats(database, out)
     else:
-        result = database.query(pattern, algorithm=arguments.algorithm)
+        result = database.query(pattern, algorithm=arguments.algorithm,
+                                engine=arguments.engine)
         execution = result.execution
         report = result.optimization.report
         out.write(f"{len(execution)} matches "
@@ -225,6 +238,16 @@ def _command_generate(arguments: argparse.Namespace,
 
 def _command_bench(arguments: argparse.Namespace, out: IO[str]) -> int:
     setup = ExperimentSetup(pers_nodes=arguments.pers_nodes)
+    if arguments.artifact == "engines":
+        from repro.bench.speed import (engine_speed_report, render_report,
+                                       write_report)
+
+        report = engine_speed_report(setup, repeats=arguments.repeats)
+        out.write(render_report(report) + "\n")
+        if arguments.json:
+            write_report(report, arguments.json)
+            out.write(f"wrote {arguments.json}\n")
+        return 0
     output = BENCH_DRIVERS[arguments.artifact](setup)
     out.write(output.text + "\n")
     return 0

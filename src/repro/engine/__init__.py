@@ -11,7 +11,10 @@ factors the optimizer plans with.
 
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.tuples import MatchTuple, Schema
-from repro.engine.executor import ExecutionResult, Executor, EngineContext
+from repro.engine.blocks import BlockOperator, ColumnGroups, TupleBlock
+from repro.engine.executor import (ENGINE_NAMES, ExecutionResult,
+                                   Executor, EngineContext,
+                                   validate_engine)
 from repro.engine.nestedloop import (naive_pattern_matches,
                                      navigational_matches)
 from repro.engine.twigstack import TwigStackMatcher, holistic_matches
@@ -33,6 +36,11 @@ __all__ = [
     "ExecutionResult",
     "Executor",
     "EngineContext",
+    "ENGINE_NAMES",
+    "validate_engine",
+    "BlockOperator",
+    "ColumnGroups",
+    "TupleBlock",
     "naive_pattern_matches",
     "navigational_matches",
 ]

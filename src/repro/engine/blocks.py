@@ -1,0 +1,472 @@
+"""Block-at-a-time execution engine.
+
+Columnar re-implementation of the iterator operators: every operator
+produces its entire output as one :class:`TupleBlock`, built with
+C-speed primitives — ``bisect`` probes over typed ``array`` columns,
+list slices, comprehension cross-products — instead of a Python
+generator frame per tuple.
+
+Two invariants tie this engine to the tuple engine in ``scan.py`` /
+``stackjoin.py`` / ``sort.py`` / ``nestedloop.py``:
+
+* **Result parity** — each block operator emits exactly the tuple
+  sequence its iterator twin yields, in the same order.
+
+* **Metrics parity** — each block operator charges exactly the same
+  :class:`~repro.engine.metrics.ExecutionMetrics` counters
+  (``index_items``, ``stack_tuple_ops``, ``buffered_results``, the
+  sort counters, ``output_tuples``, ``join_count``), so
+  ``simulated_cost()`` — the currency the optimizer's cost model is
+  validated in — is identical under either engine.  Only the
+  page/buffer I/O diagnostics may differ: the block engine reads each
+  posting page once per decode-cache epoch instead of once per scan.
+
+The counters are consumption-driven in the tuple engine, which is why
+its stack joins drain their ancestor input at end-of-stream (see
+``stackjoin.py``): with total consumption, the full-list bulk charges
+here are exactly equivalent, and skip-ahead can jump over non-joining
+runs without touching any counter.
+
+Skip-ahead — the optimization the paper inherits from its structural-
+join reference — exploits that grouped columns are sorted by start and
+that regions of one tree either nest or are disjoint:
+
+* the Desc join locates, per descendant group, the live ancestor stack
+  as the *parent chain* of its ``bisect`` predecessor; ancestor runs
+  that ended before the descendant are never visited;
+* the Anc join locates, per ancestor group, its matching descendant
+  groups as one contiguous ``bisect`` window of the descendant start
+  column; descendants outside the window are never visited.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from itertools import repeat
+from operator import add
+from typing import Callable, Sequence
+
+from repro.errors import PlanError
+from repro.core.pattern import Axis, PatternNode
+from repro.engine.context import EngineContext
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.nestedloop import _related
+from repro.engine.tuples import MatchTuple, Schema
+
+
+class ColumnGroups:
+    """Grouped view of one bound column of a block.
+
+    ``starts``/``ends``/``levels`` hold one entry per *group* — a run
+    of adjacent rows binding the same region — and
+    ``bounds[i]:bounds[i + 1]`` is group *i*'s row range (``bounds``
+    therefore also gives cumulative row counts).  :meth:`parents`
+    lazily computes, per group, the index of the nearest enclosing
+    group to its left, or -1.
+    """
+
+    __slots__ = ("starts", "ends", "levels", "bounds", "_parents")
+
+    def __init__(self, starts: Sequence[int], ends: Sequence[int],
+                 levels: Sequence[int], bounds: Sequence[int]) -> None:
+        self.starts = starts
+        self.ends = ends
+        self.levels = levels
+        self.bounds = bounds
+        self._parents: list[int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def parents(self) -> list[int]:
+        """Nearest-enclosing-group index per group (-1 at top level)."""
+        if self._parents is None:
+            parents: list[int] = []
+            stack: list[int] = []
+            ends = self.ends
+            for index, start in enumerate(self.starts):
+                while stack and ends[stack[-1]] < start:
+                    stack.pop()
+                parents.append(stack[-1] if stack else -1)
+                stack.append(index)
+            self._parents = parents
+        return self._parents
+
+
+def _group_rows(rows: list[MatchTuple], position: int,
+                label: str) -> ColumnGroups:
+    """Group a document-ordered row list by one bound column.
+
+    The block-engine counterpart of
+    :func:`repro.engine.operators.group_by_column` plus the order
+    check of ``OrderCheckingIterator``: a decreasing start is a
+    planner bug and raises immediately.
+    """
+    starts: list[int] = []
+    ends: list[int] = []
+    levels: list[int] = []
+    bounds: list[int] = []
+    last = -1
+    for index, row in enumerate(rows):
+        region = row[position]
+        start = region.start
+        if start == last and bounds:
+            continue
+        if start < last:
+            raise PlanError(
+                f"{label} is not ordered by its declared "
+                f"column (saw start {start} after {last})")
+        starts.append(start)
+        ends.append(region.end)
+        levels.append(region.level)
+        bounds.append(index)
+        last = start
+    bounds.append(len(rows))
+    return ColumnGroups(starts, ends, levels, bounds)
+
+
+class TupleBlock:
+    """One operator's entire output: schema, rows, grouped views.
+
+    ``shared`` marks row lists borrowed from the decode cache (leaf
+    scans without predicates); anything exposing rows to callers must
+    copy a shared list instead of handing it out.
+    """
+
+    __slots__ = ("schema", "rows", "shared", "_groups")
+
+    def __init__(self, schema: Schema, rows: list[MatchTuple],
+                 shared: bool = False) -> None:
+        self.schema = schema
+        self.rows = rows
+        self.shared = shared
+        self._groups: dict[int, ColumnGroups] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def grouped(self, node_id: int,
+                label: str = "input") -> ColumnGroups:
+        """The grouped view of column *node_id* (cached per block)."""
+        groups = self._groups.get(node_id)
+        if groups is None:
+            groups = _group_rows(self.rows,
+                                 self.schema.position(node_id), label)
+            self._groups[node_id] = groups
+        return groups
+
+
+class BlockOperator:
+    """Base class of block operators (single-use, like ``Operator``)."""
+
+    def __init__(self, schema: Schema, ordered_by: int,
+                 metrics: ExecutionMetrics) -> None:
+        if ordered_by not in schema:
+            raise PlanError(
+                f"operator ordered by {ordered_by}, which is not in its "
+                f"schema {schema.node_ids}")
+        self.schema = schema
+        self.ordered_by = ordered_by
+        self.metrics = metrics
+        self._consumed = False
+
+    def block(self) -> TupleBlock:
+        """Produce the full output block.  May be called once."""
+        if self._consumed:
+            raise PlanError("operator streams are single-use")
+        self._consumed = True
+        return self._produce()
+
+    def _produce(self) -> TupleBlock:
+        raise NotImplementedError
+
+
+class BlockIndexScan(BlockOperator):
+    """Leaf: one pattern node's candidate set as a single block.
+
+    Pulls the cached :class:`~repro.storage.postings.RegionBlock` from
+    the tag index (decoded at most once per index epoch) and charges
+    ``index_items`` for the whole candidate set — the same ``f_I * n``
+    the (drained) tuple scan accumulates one posting at a time.
+    """
+
+    def __init__(self, pattern_node: PatternNode,
+                 context: EngineContext) -> None:
+        super().__init__(Schema((pattern_node.node_id,)),
+                         pattern_node.node_id, context.metrics)
+        self.pattern_node = pattern_node
+        self.context = context
+
+    def _produce(self) -> TupleBlock:
+        index = self.context.tag_index
+        if self.pattern_node.is_wildcard:
+            postings = index.scan_blocks_all()
+        else:
+            postings = index.scan_blocks(self.pattern_node.tag)
+        self.metrics.index_items += len(postings)
+        node_id = self.pattern_node.node_id
+        if not self.pattern_node.predicates:
+            block = TupleBlock(self.schema, postings.rows, shared=True)
+            block._groups[node_id] = ColumnGroups(
+                postings.starts, postings.ends, postings.levels,
+                range(len(postings) + 1))
+            return block
+        matches = self._matcher()
+        rows: list[MatchTuple] = []
+        starts: list[int] = []
+        ends: list[int] = []
+        levels: list[int] = []
+        all_rows = postings.rows
+        for position, region in enumerate(postings.regions):
+            if matches(region):
+                rows.append(all_rows[position])
+                starts.append(region.start)
+                ends.append(region.end)
+                levels.append(region.level)
+        block = TupleBlock(self.schema, rows)
+        block._groups[node_id] = ColumnGroups(
+            starts, ends, levels, range(len(rows) + 1))
+        return block
+
+    def _matcher(self) -> Callable[[object], bool]:
+        pattern_node = self.pattern_node
+        context = self.context
+        if context.document is not None:
+            lookup = context.document.node
+        elif context.element_store is not None:
+            lookup = context.element_store.reader().node
+        else:
+            raise PlanError(
+                "predicate evaluation needs a document or element store")
+        return lambda region: pattern_node.matches(lookup(region.start))
+
+
+class BlockSort(BlockOperator):
+    """Blocking sort by one bound node's document position."""
+
+    def __init__(self, child: BlockOperator, by_node: int) -> None:
+        super().__init__(child.schema, by_node, child.metrics)
+        self.child = child
+        self.by_node = by_node
+
+    def _produce(self) -> TupleBlock:
+        child_block = self.child.block()
+        position = self.schema.position(self.by_node)
+        self.metrics.record_sort(len(child_block.rows))
+        rows = sorted(child_block.rows,
+                      key=lambda match: match[position].start)
+        return TupleBlock(self.schema, rows)
+
+
+class _BlockJoinBase(BlockOperator):
+    """Shared setup for the two block stack-tree operators."""
+
+    def __init__(self, ancestor_input: BlockOperator,
+                 descendant_input: BlockOperator,
+                 ancestor_node: int, descendant_node: int,
+                 axis: Axis, ordered_by: int) -> None:
+        schema = ancestor_input.schema.concat(descendant_input.schema)
+        super().__init__(schema, ordered_by, ancestor_input.metrics)
+        self.ancestor_input = ancestor_input
+        self.descendant_input = descendant_input
+        self.ancestor_node = ancestor_node
+        self.descendant_node = descendant_node
+        self.axis = axis
+
+    def _inputs(self) -> tuple[TupleBlock, ColumnGroups,
+                               TupleBlock, ColumnGroups]:
+        anc_block = self.ancestor_input.block()
+        desc_block = self.descendant_input.block()
+        return (anc_block,
+                anc_block.grouped(self.ancestor_node, "ancestor input"),
+                desc_block,
+                desc_block.grouped(self.descendant_node,
+                                   "descendant input"))
+
+    def _charge_pushes(self, anc: ColumnGroups,
+                       desc: ColumnGroups) -> None:
+        """Bulk ``stack_tuple_ops`` charge.
+
+        The tuple engine pushes exactly the ancestor groups whose
+        start precedes the final descendant group's start, charging
+        one op per tuple pushed; ``bounds`` gives that tuple total in
+        one ``bisect`` step.
+        """
+        pushed = bisect_left(anc.starts, desc.starts[-1])
+        self.metrics.stack_tuple_ops += anc.bounds[pushed]
+
+
+class BlockStackTreeDescJoin(_BlockJoinBase):
+    """Structural join, output ordered by the descendant binding.
+
+    Per descendant group, the tuple engine's live stack is exactly the
+    chain of ancestor groups enclosing the descendant's start: the
+    ``bisect`` predecessor of the start, climbed through
+    :meth:`ColumnGroups.parents` past groups that ended too early,
+    then out to the chain's root.  Consecutive descendants under the
+    same innermost ancestor reuse the chain.
+    """
+
+    def __init__(self, ancestor_input: BlockOperator,
+                 descendant_input: BlockOperator,
+                 ancestor_node: int, descendant_node: int,
+                 axis: Axis) -> None:
+        super().__init__(ancestor_input, descendant_input,
+                         ancestor_node, descendant_node, axis,
+                         ordered_by=descendant_node)
+
+    def _produce(self) -> TupleBlock:
+        self.metrics.join_count += 1
+        anc_block, anc, desc_block, desc = self._inputs()
+        out: list[MatchTuple] = []
+        if len(anc) and len(desc):
+            self._charge_pushes(anc, desc)
+            parents = anc.parents()
+            child_axis = self.axis is Axis.CHILD
+            anc_rows = anc_block.rows
+            desc_rows = desc_block.rows
+            anc_starts = anc.starts
+            anc_ends = anc.ends
+            anc_levels = anc.levels
+            anc_bounds = anc.bounds
+            desc_bounds = desc.bounds
+            out_extend = out.extend
+            cached_top = -2
+            chain: list[int] = []
+            for group in range(len(desc)):
+                d_start = desc.starts[group]
+                top = bisect_left(anc_starts, d_start) - 1
+                while top >= 0 and anc_ends[top] < d_start:
+                    top = parents[top]
+                if top < 0:
+                    continue
+                if top != cached_top:
+                    chain = []
+                    node = top
+                    while node >= 0:
+                        chain.append(node)
+                        node = parents[node]
+                    chain.reverse()  # stack bottom (outermost) first
+                    cached_top = top
+                d_end = desc.ends[group]
+                d_level = desc.levels[group]
+                d_rows = desc_rows[desc_bounds[group]:
+                                   desc_bounds[group + 1]]
+                for entry in chain:
+                    if anc_ends[entry] < d_end:
+                        continue
+                    if child_axis and anc_levels[entry] + 1 != d_level:
+                        continue
+                    a_rows = anc_rows[anc_bounds[entry]:
+                                      anc_bounds[entry + 1]]
+                    # emission order: descendant tuple outer, ancestor
+                    # inner — the maps below keep all per-pair work in
+                    # C (no Python frame per output tuple)
+                    if len(a_rows) == 1:
+                        out_extend(map(a_rows[0].__add__, d_rows))
+                    else:
+                        for desc_tuple in d_rows:
+                            out_extend(map(add, a_rows,
+                                           repeat(desc_tuple)))
+            self.metrics.output_tuples += len(out)
+        return TupleBlock(self.schema, out)
+
+
+class BlockStackTreeAncJoin(_BlockJoinBase):
+    """Structural join, output ordered by the ancestor binding.
+
+    The tuple engine buffers results in self/inherit lists and emits
+    them as ancestors pop; the net effect is preorder by ancestor
+    group, each group's own pairs before those of the groups nested
+    inside it.  Iterating ancestor groups in start order reproduces
+    that order directly, and each group's matching descendant groups
+    are one contiguous ``bisect`` window of the descendant column.
+    """
+
+    def __init__(self, ancestor_input: BlockOperator,
+                 descendant_input: BlockOperator,
+                 ancestor_node: int, descendant_node: int,
+                 axis: Axis) -> None:
+        super().__init__(ancestor_input, descendant_input,
+                         ancestor_node, descendant_node, axis,
+                         ordered_by=ancestor_node)
+
+    def _produce(self) -> TupleBlock:
+        self.metrics.join_count += 1
+        anc_block, anc, desc_block, desc = self._inputs()
+        out: list[MatchTuple] = []
+        if len(anc) and len(desc):
+            self._charge_pushes(anc, desc)
+            child_axis = self.axis is Axis.CHILD
+            anc_rows = anc_block.rows
+            desc_rows = desc_block.rows
+            desc_starts = desc.starts
+            desc_ends = desc.ends
+            desc_levels = desc.levels
+            desc_bounds = desc.bounds
+            group_count = len(desc)
+            buffered = 0
+            out_extend = out.extend
+            # Only pushed groups (start before the last descendant's
+            # start) can hold matches; later groups have no descendant
+            # strictly after their start.
+            pushed = bisect_left(anc.starts, desc_starts[-1])
+            for group in range(pushed):
+                a_start = anc.starts[group]
+                a_end = anc.ends[group]
+                window = bisect_right(desc_starts, a_start)
+                if window >= group_count or desc_starts[window] > a_end:
+                    continue
+                stop = bisect_right(desc_starts, a_end, window)
+                a_rows = anc_rows[anc.bounds[group]:
+                                  anc.bounds[group + 1]]
+                a_len = len(a_rows)
+                a_level = anc.levels[group]
+                for inner in range(window, stop):
+                    if desc_ends[inner] > a_end:
+                        continue
+                    if child_axis and a_level + 1 != desc_levels[inner]:
+                        continue
+                    d_rows = desc_rows[desc_bounds[inner]:
+                                       desc_bounds[inner + 1]]
+                    buffered += a_len * len(d_rows)
+                    # emission order: ancestor tuple outer, descendant
+                    # inner, all per-pair work in C
+                    for anc_tuple in a_rows:
+                        out_extend(map(anc_tuple.__add__, d_rows))
+            self.metrics.buffered_results += buffered
+            self.metrics.output_tuples += len(out)
+        return TupleBlock(self.schema, out)
+
+
+class BlockNestedLoopJoin(BlockOperator):
+    """Quadratic oracle join, block form (identical probe order)."""
+
+    def __init__(self, ancestor_input: BlockOperator,
+                 descendant_input: BlockOperator,
+                 ancestor_node: int, descendant_node: int,
+                 axis: Axis) -> None:
+        schema = ancestor_input.schema.concat(descendant_input.schema)
+        super().__init__(schema, ancestor_input.ordered_by,
+                         ancestor_input.metrics)
+        self.ancestor_input = ancestor_input
+        self.descendant_input = descendant_input
+        self.ancestor_position = ancestor_input.schema.position(
+            ancestor_node)
+        self.descendant_position = descendant_input.schema.position(
+            descendant_node)
+        self.axis = axis
+
+    def _produce(self) -> TupleBlock:
+        self.metrics.join_count += 1
+        inner = self.descendant_input.block().rows
+        out: list[MatchTuple] = []
+        apos = self.ancestor_position
+        dpos = self.descendant_position
+        axis = self.axis
+        for anc_tuple in self.ancestor_input.block().rows:
+            ancestor = anc_tuple[apos]
+            out.extend(anc_tuple + desc_tuple for desc_tuple in inner
+                       if _related(ancestor, desc_tuple[dpos], axis))
+        self.metrics.output_tuples += len(out)
+        return TupleBlock(self.schema, out)

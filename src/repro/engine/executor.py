@@ -17,6 +17,10 @@ from repro.core.pattern import QueryPattern
 from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
                               SortPlan, StructuralJoinPlan)
 from repro.document.node import Region
+from repro.engine.blocks import (BlockIndexScan, BlockNestedLoopJoin,
+                                 BlockOperator, BlockSort,
+                                 BlockStackTreeAncJoin,
+                                 BlockStackTreeDescJoin)
 from repro.engine.context import EngineContext
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.nestedloop import NestedLoopJoin
@@ -25,6 +29,16 @@ from repro.engine.scan import IndexScan
 from repro.engine.sort import SortOperator
 from repro.engine.stackjoin import StackTreeAncJoin, StackTreeDescJoin
 from repro.engine.tuples import MatchTuple, Schema
+
+#: the two execution modes; block is the default everywhere.
+ENGINE_NAMES = ("block", "tuple")
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in ENGINE_NAMES:
+        raise PlanError(f"unknown engine {engine!r}; expected one of "
+                        f"{ENGINE_NAMES}")
+    return engine
 
 
 @dataclass
@@ -70,11 +84,21 @@ class FirstResultTiming:
 
 
 class Executor:
-    """Builds and drives operator trees for one engine context."""
+    """Builds and drives operator trees for one engine context.
 
-    def __init__(self, context: EngineContext, pattern: QueryPattern) -> None:
+    *engine* selects the execution mode: ``"block"`` (the default)
+    runs the columnar block-at-a-time operators of
+    :mod:`repro.engine.blocks`; ``"tuple"`` runs the original
+    Volcano-style iterators.  Both modes produce identical tuple
+    sequences and identical cost-model counters — only wall-clock and
+    the I/O diagnostics differ.
+    """
+
+    def __init__(self, context: EngineContext, pattern: QueryPattern,
+                 engine: str = "block") -> None:
         self.context = context
         self.pattern = pattern
+        self.engine = validate_engine(engine)
 
     def build(self, plan: PhysicalPlan,
               context: EngineContext | None = None) -> Operator:
@@ -105,7 +129,35 @@ class Executor:
                                   plan.descendant_node, plan.axis)
         raise PlanError(f"unknown plan node type {type(plan).__name__}")
 
-    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+    def build_block(self, plan: PhysicalPlan,
+                    context: EngineContext | None = None) -> BlockOperator:
+        """Translate a plan subtree into a block-operator subtree."""
+        context = context or self.context
+        if isinstance(plan, IndexScanPlan):
+            return BlockIndexScan(self.pattern.node(plan.node_id), context)
+        if isinstance(plan, SortPlan):
+            return BlockSort(self.build_block(plan.child, context),
+                             plan.by_node)
+        if isinstance(plan, StructuralJoinPlan):
+            ancestor = self.build_block(plan.ancestor_plan, context)
+            descendant = self.build_block(plan.descendant_plan, context)
+            if plan.algorithm is JoinAlgorithm.STACK_TREE_ANC:
+                return BlockStackTreeAncJoin(ancestor, descendant,
+                                             plan.ancestor_node,
+                                             plan.descendant_node,
+                                             plan.axis)
+            if plan.algorithm is JoinAlgorithm.STACK_TREE_DESC:
+                return BlockStackTreeDescJoin(ancestor, descendant,
+                                              plan.ancestor_node,
+                                              plan.descendant_node,
+                                              plan.axis)
+            return BlockNestedLoopJoin(ancestor, descendant,
+                                       plan.ancestor_node,
+                                       plan.descendant_node, plan.axis)
+        raise PlanError(f"unknown plan node type {type(plan).__name__}")
+
+    def execute(self, plan: PhysicalPlan,
+                engine: str | None = None) -> ExecutionResult:
         """Run *plan* to completion with run-private metrics.
 
         The shared context is never mutated: each execution builds its
@@ -115,27 +167,44 @@ class Executor:
         concurrency they attribute I/O approximately (aggregate totals
         stay exact); the simulated-cost counters are always private.
         """
+        engine = (self.engine if engine is None
+                  else validate_engine(engine))
         run = self.context.for_run()
         metrics = run.metrics
         pool = run.tag_index.pool
         io_before = pool.disk.stats.snapshot()
         hits_before = pool.stats.hits
         misses_before = pool.stats.misses
-        root = self.build(plan, run)
-        started = time.perf_counter()
-        tuples = list(root.run())
-        metrics.wall_seconds = time.perf_counter() - started
+        if engine == "block":
+            block_root = self.build_block(plan, run)
+            started = time.perf_counter()
+            block = block_root.block()
+            metrics.wall_seconds = time.perf_counter() - started
+            # shared row lists belong to the decode cache — hand out
+            # a copy so callers can never corrupt cached postings
+            tuples = list(block.rows) if block.shared else block.rows
+            schema = block.schema
+        else:
+            root = self.build(plan, run)
+            started = time.perf_counter()
+            tuples = list(root.run())
+            metrics.wall_seconds = time.perf_counter() - started
+            schema = root.schema
         metrics.page_reads = pool.disk.stats.reads - io_before.reads
         metrics.page_writes = pool.disk.stats.writes - io_before.writes
         metrics.buffer_hits = pool.stats.hits - hits_before
         metrics.buffer_misses = pool.stats.misses - misses_before
-        return ExecutionResult(tuples=tuples, schema=root.schema,
+        return ExecutionResult(tuples=tuples, schema=schema,
                                metrics=metrics)
 
     def time_to_first(self, plan: PhysicalPlan,
                       results: int = 1) -> FirstResultTiming:
         """Measure result latency: blocking operators delay the first
-        tuple, pipelined plans deliver it almost immediately."""
+        tuple, pipelined plans deliver it almost immediately.
+
+        Always runs the tuple engine — streaming latency is exactly
+        the property block-at-a-time execution trades away.
+        """
         root = self.build(plan, self.context.for_run())
         stream = root.run()
         started = time.perf_counter()

@@ -29,6 +29,7 @@ class IndexScan(Operator):
                          pattern_node.node_id, context.metrics)
         self.pattern_node = pattern_node
         self.context = context
+        self._reader = None  # per-scan page-batched store access
 
     def _postings(self):
         index = self.context.tag_index
@@ -49,7 +50,9 @@ class IndexScan(Operator):
         if self.context.document is not None:
             node = self.context.document.node(region.start)
         elif self.context.element_store is not None:
-            node = self.context.element_store.fetch_node(region.start)
+            if self._reader is None:
+                self._reader = self.context.element_store.reader()
+            node = self._reader.node(region.start)
         else:
             raise PlanError(
                 "predicate evaluation needs a document or element store")

@@ -100,6 +100,14 @@ class StackTreeDescJoin(_JoinBase):
                         for anc_tuple in anc_tuples:
                             self.metrics.output_tuples += 1
                             yield anc_tuple + desc_tuple
+        # The pull loop above stops at the first ancestor group past
+        # the final descendant, which would leave the ancestor subtree
+        # partially consumed — but the cost model prices an index scan
+        # as f_I * n over the full candidate set, and the block engine
+        # charges whole posting lists up front, so consumption (and
+        # with it every consumption-driven counter) is made total.
+        for _remainder in ancestor_groups:
+            pass
 
 
 class _AncEntry:
@@ -167,3 +175,7 @@ class StackTreeAncJoin(_JoinBase):
                         len(entry.tuples) * len(desc_tuples))
         while stack:
             yield from pop_one()
+        # Exhaust the ancestor side for total consumption — same
+        # rationale as in StackTreeDescJoin above.
+        for _remainder in ancestor_groups:
+            pass

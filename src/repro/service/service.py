@@ -64,8 +64,14 @@ class QueryService:
 
     def query(self, query: "str | QueryPattern",
               algorithm: str = "DPP",
+              engine: "str | None" = None,
               **options: object) -> "QueryResult":
-        """Optimize (through the cache) and execute one query."""
+        """Optimize (through the cache) and execute one query.
+
+        ``engine`` picks the execution mode for this run and stays out
+        of *options* (which are optimizer arguments and part of the
+        plan-cache key — the plan is engine-independent).
+        """
         from repro.api import QueryResult
 
         started = time.perf_counter()
@@ -73,7 +79,8 @@ class QueryService:
             pattern = self.database.compile(query)
             optimization = self.optimize_cached(pattern, algorithm,
                                                 **options)
-            execution = self.database.execute(optimization.plan, pattern)
+            execution = self.database.execute(optimization.plan, pattern,
+                                              engine=engine)
         except BaseException:
             with self._mutex:
                 self._errors += 1
@@ -92,6 +99,7 @@ class QueryService:
     def query_many(self, queries: Sequence["str | QueryPattern"],
                    algorithm: str = "DPP",
                    workers: int | None = None,
+                   engine: "str | None" = None,
                    **options: object) -> list["QueryResult"]:
         """Execute a batch of queries, results in input order.
 
@@ -103,13 +111,15 @@ class QueryService:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if workers == 1 or len(queries) <= 1:
-            return [self.query(query, algorithm=algorithm, **options)
+            return [self.query(query, algorithm=algorithm,
+                               engine=engine, **options)
                     for query in queries]
         with ThreadPoolExecutor(
                 max_workers=min(workers, len(queries)),
                 thread_name_prefix="repro-query") as pool:
             futures = [pool.submit(self.query, query,
-                                   algorithm=algorithm, **options)
+                                   algorithm=algorithm, engine=engine,
+                                   **options)
                        for query in queries]
             return [future.result() for future in futures]
 

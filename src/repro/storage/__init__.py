@@ -13,7 +13,8 @@ even though the "disk" may be a Python dict.
 from repro.storage.disk import DiskManager, InMemoryDisk, FileDisk, IOStats
 from repro.storage.pages import Page, PAGE_SIZE
 from repro.storage.buffer import BufferPool
-from repro.storage.store import ElementStore, StoredNode
+from repro.storage.postings import RegionBlock
+from repro.storage.store import ElementStore, NodeReader, StoredNode
 from repro.storage.tagindex import TagIndex
 from repro.storage.catalog import (CATALOG_PAGE_ID, read_catalog,
                                    reserve_catalog_page, write_catalog)
@@ -27,6 +28,8 @@ __all__ = [
     "PAGE_SIZE",
     "BufferPool",
     "ElementStore",
+    "NodeReader",
+    "RegionBlock",
     "StoredNode",
     "TagIndex",
     "CATALOG_PAGE_ID",

@@ -1,0 +1,70 @@
+"""Columnar posting blocks: the decode-once representation.
+
+A :class:`RegionBlock` holds one full posting list in struct-of-arrays
+form — parallel C-typed ``array`` columns of start/end/level that
+``bisect`` can search without touching a Python object per probe —
+together with the materialized :class:`~repro.document.node.Region`
+objects and the single-binding match rows the block engine emits.
+
+Blocks are built once per decode-cache epoch by
+:meth:`~repro.storage.tagindex.TagIndex.scan_blocks` and then shared
+across executions, so they are immutable by contract: consumers must
+never mutate ``regions`` or ``rows`` in place (operators that filter
+or reorder build fresh lists).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, Sequence
+
+from repro.document.node import Region
+
+
+class RegionBlock:
+    """One posting list in columnar form (parallel start/end/level)."""
+
+    __slots__ = ("tag", "starts", "ends", "levels", "regions", "rows")
+
+    def __init__(self, tag: str, starts: "array[int]",
+                 ends: "array[int]", levels: "array[int]",
+                 regions: list[Region]) -> None:
+        self.tag = tag
+        self.starts = starts
+        self.ends = ends
+        self.levels = levels
+        self.regions = regions
+        #: single-binding match rows, ready for the block engine
+        self.rows: list[tuple[Region]] = [(region,) for region in regions]
+
+    @classmethod
+    def from_entries(cls, tag: str,
+                     entries: Sequence[tuple[int, int, int]]
+                     ) -> "RegionBlock":
+        """Build from decoded ``(start, end, level)`` triples."""
+        return cls(tag,
+                   array("I", [entry[0] for entry in entries]),
+                   array("I", [entry[1] for entry in entries]),
+                   array("H", [entry[2] for entry in entries]),
+                   [Region(start, end, level)
+                    for start, end, level in entries])
+
+    @classmethod
+    def from_regions(cls, tag: str,
+                     regions: Iterable[Region]) -> "RegionBlock":
+        """Build from already-materialized regions (merged scans)."""
+        region_list = list(regions)
+        return cls(tag,
+                   array("I", [region.start for region in region_list]),
+                   array("I", [region.end for region in region_list]),
+                   array("H", [region.level for region in region_list]),
+                   region_list)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self.regions)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"RegionBlock({self.tag!r}, {len(self.regions)} postings)"

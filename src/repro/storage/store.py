@@ -84,6 +84,37 @@ def decode_node(payload: bytes) -> NodeRecord:
                       parent_id=parent_id, text=text, attributes=attributes)
 
 
+class NodeReader:
+    """Page-batched node access: one pool round trip per page.
+
+    Predicate-heavy index scans look up element payloads for runs of
+    node ids that mostly share a page; a reader keeps the last page's
+    records so consecutive hits skip the buffer pool's fetch/unpin
+    cycle entirely.  The memo is one page of payload bytes — per-scan
+    state, not a cache — so create one reader per scan and drop it.
+    """
+
+    __slots__ = ("_store", "_page_id", "_payloads")
+
+    def __init__(self, store: "ElementStore") -> None:
+        self._store = store
+        self._page_id: int | None = None
+        self._payloads: list[bytes] = []
+
+    def node(self, node_id: int) -> NodeRecord:
+        """Fetch and decode one node, reusing the last page read."""
+        rid = self._store.rid_of(node_id)
+        if rid.page_id != self._page_id:
+            pool = self._store.pool
+            page = pool.fetch(rid.page_id)
+            try:
+                self._payloads = page.records()
+            finally:
+                pool.unpin(rid.page_id)
+            self._page_id = rid.page_id
+        return decode_node(self._payloads[rid.slot])
+
+
 class ElementStore:
     """Append-only store of node records in buffer-pooled pages."""
 
@@ -137,6 +168,10 @@ class ElementStore:
             return decode_node(page.record(rid.slot))
         finally:
             self.pool.unpin(rid.page_id)
+
+    def reader(self) -> NodeReader:
+        """A per-scan :class:`NodeReader` over this store."""
+        return NodeReader(self)
 
     def scan(self) -> Iterator[NodeRecord]:
         """Iterate all stored nodes in insertion (document) order."""

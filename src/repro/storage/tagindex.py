@@ -10,17 +10,31 @@ element's text or attributes.
 Posting lists are stored in pages (one chain of pages per tag, entries
 in document order) and read back through the buffer pool, so every
 index scan is visible to the I/O counters.
+
+Two read paths exist:
+
+* :meth:`TagIndex.scan` — the tuple engine's iterator: fetches pages
+  and unpacks one entry per ``next()``.
+* :meth:`TagIndex.scan_blocks` — the block engine's columnar path:
+  decodes each page of a chain exactly once (``_ENTRY.iter_unpack``
+  over the page's concatenated records) into a
+  :class:`~repro.storage.postings.RegionBlock` and caches the block
+  until the index mutates.  ``decode_epoch`` counts those
+  invalidations; :meth:`~repro.api.Database.reload` discards the whole
+  index, so stale blocks can never serve a reloaded document.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterator
+from operator import attrgetter
+from typing import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.document.document import XmlDocument
 from repro.document.node import NodeRecord, Region
 from repro.storage.buffer import BufferPool
+from repro.storage.postings import RegionBlock
 
 _ENTRY = struct.Struct("<IIH")
 
@@ -35,44 +49,86 @@ class TagIndex:
         self._counts: dict[str, int] = {}
         # tail page of each tag's chain, for appends.
         self._tail: dict[str, int] = {}
+        # sorted tag listing, rebuilt only when a chain appears.
+        self._sorted_tags: tuple[str, ...] | None = None
+        # decoded posting blocks, per tag plus the all-tags merge.
+        self._blocks: dict[str, RegionBlock] = {}
+        self._merged_block: RegionBlock | None = None
+        #: bumped whenever cached decoded blocks are invalidated.
+        self.decode_epoch = 0
 
     # -- build --------------------------------------------------------------
 
     def index_document(self, document: XmlDocument) -> None:
         """Add every element of *document* to the index."""
-        for node in document:
-            self.add(node)
+        self.add_many(document)
         self.pool.flush()
 
     def add(self, node: NodeRecord) -> None:
         """Append one posting.  Nodes must arrive in document order."""
-        payload = _ENTRY.pack(node.start, node.end, node.level)
-        tag = node.tag
-        tail_id = self._tail.get(tag)
-        if tail_id is not None:
-            page = self.pool.fetch(tail_id)
-            if page.free_space >= len(payload):
-                last = page.record(page.slot_count - 1)
-                if _ENTRY.unpack(last)[0] >= node.start:
-                    self.pool.unpin(tail_id)
+        self.add_many((node,))
+
+    def add_many(self, nodes: Iterable[NodeRecord]) -> int:
+        """Append postings in bulk; returns the number added.
+
+        The tail page of the active tag stays pinned across consecutive
+        postings of the same tag, so a bulk build pays one buffer-pool
+        round trip per page transition instead of one per posting.
+        Document order is still enforced per tag, and any cached
+        decoded block of a touched tag is invalidated.
+        """
+        added = 0
+        tag: str | None = None
+        page = None  # pinned tail page of `tag` while the run lasts
+        last_start = -1
+        try:
+            for node in nodes:
+                if node.tag != tag:
+                    if page is not None:
+                        self.pool.unpin(page.page_id, dirty=True)
+                        page = None
+                    tag = node.tag
+                    tail_id = self._tail.get(tag)
+                    if tail_id is not None:
+                        page = self.pool.fetch(tail_id)
+                        last = page.record(page.slot_count - 1)
+                        last_start = _ENTRY.unpack(last)[0]
+                    else:
+                        last_start = -1
+                if last_start >= node.start:
                     raise StorageError(
                         "postings must be added in document order")
+                payload = _ENTRY.pack(node.start, node.end, node.level)
+                if page is not None and page.free_space < len(payload):
+                    self.pool.unpin(page.page_id, dirty=True)
+                    page = None
+                if page is None:
+                    page = self.pool.new_page()
+                    chain = self._page_chains.setdefault(tag, [])
+                    if not chain:
+                        self._sorted_tags = None
+                    chain.append(page.page_id)
+                    self._tail[tag] = page.page_id
                 page.insert(payload)
-                self.pool.unpin(tail_id, dirty=True)
-                self._counts[tag] += 1
-                return
-            self.pool.unpin(tail_id)
-        page = self.pool.new_page()
-        page.insert(payload)
-        self.pool.unpin(page.page_id, dirty=True)
-        self._page_chains.setdefault(tag, []).append(page.page_id)
-        self._tail[tag] = page.page_id
-        self._counts[tag] = self._counts.get(tag, 0) + 1
+                last_start = node.start
+                self._counts[tag] = self._counts.get(tag, 0) + 1
+                if self._blocks or self._merged_block is not None:
+                    self._blocks.pop(tag, None)
+                    self._merged_block = None
+                added += 1
+        finally:
+            if page is not None:
+                self.pool.unpin(page.page_id, dirty=True)
+        if added:
+            self.decode_epoch += 1
+        return added
 
     # -- read ----------------------------------------------------------------
 
     def tags(self) -> list[str]:
-        return sorted(self._page_chains)
+        if self._sorted_tags is None:
+            self._sorted_tags = tuple(sorted(self._page_chains))
+        return list(self._sorted_tags)
 
     def count(self, tag: str) -> int:
         """Number of postings for *tag* (0 if absent)."""
@@ -89,6 +145,45 @@ class TagIndex:
             for payload in payloads:
                 start, end, level = _ENTRY.unpack(payload)
                 yield Region(start, end, level)
+
+    def scan_blocks(self, tag: str) -> RegionBlock:
+        """The postings of *tag* as one cached columnar block.
+
+        The first call per epoch decodes the tag's page chain — each
+        page read once, all entries unpacked in one
+        ``_ENTRY.iter_unpack`` pass — and caches the result; later
+        calls return the same block without touching the pool.
+        """
+        block = self._blocks.get(tag)
+        if block is None:
+            block = self._decode_chain(tag)
+            self._blocks[tag] = block
+        return block
+
+    def scan_blocks_all(self) -> RegionBlock:
+        """All postings of every tag, merged in document order.
+
+        This is the wildcard-scan candidate set; the merge is cached
+        alongside the per-tag blocks.
+        """
+        if self._merged_block is None:
+            regions: list[Region] = []
+            for tag in self.tags():
+                regions.extend(self.scan_blocks(tag).regions)
+            regions.sort(key=attrgetter("start"))
+            self._merged_block = RegionBlock.from_regions("*", regions)
+        return self._merged_block
+
+    def _decode_chain(self, tag: str) -> RegionBlock:
+        entries: list[tuple[int, int, int]] = []
+        for page_id in self._page_chains.get(tag, ()):
+            page = self.pool.fetch(page_id)
+            try:
+                payload = b"".join(page.records())
+            finally:
+                self.pool.unpin(page_id)
+            entries.extend(_ENTRY.iter_unpack(payload))
+        return RegionBlock.from_entries(tag, entries)
 
     def regions(self, tag: str) -> list[Region]:
         """The full posting list of *tag* as a list."""

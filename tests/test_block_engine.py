@@ -1,0 +1,256 @@
+"""Unit tests for the block-at-a-time engine and the decode cache.
+
+The randomized cross-check of whole plans lives in
+``test_differential.py``; here the block operators are pinned down on
+hand-written edge cases (empty inputs, fully nested runs, disjoint
+runs — the shapes the skip-ahead logic jumps over), and the storage
+additions backing the engine (posting decode cache, batched index
+build, page-batched node reader) get direct coverage.
+"""
+
+import io
+
+import pytest
+
+from repro.api import Database
+from repro.bench.speed import PARITY_COUNTERS
+from repro.cli import main
+from repro.core.pattern import Axis, QueryPattern
+from repro.core.plans import (IndexScanPlan, JoinAlgorithm,
+                              SortPlan, StructuralJoinPlan)
+from repro.document.node import NodeRecord, Region
+from repro.document.parser import parse_xml
+from repro.errors import PlanError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.storage.tagindex import TagIndex
+
+from tests.test_executor import blocking_plan, fully_pipelined_plan
+
+
+def counters(execution):
+    return {name: getattr(execution.metrics, name)
+            for name in PARITY_COUNTERS}
+
+
+def assert_engines_agree(database, plan, pattern):
+    """Both engines: identical tuples and cost-model counters."""
+    tuple_run = database.execute(plan, pattern, engine="tuple")
+    block_run = database.execute(plan, pattern, engine="block")
+    assert tuple_run.tuples == block_run.tuples
+    assert counters(tuple_run) == counters(block_run)
+    return block_run
+
+
+def pair_pattern(axis: str) -> QueryPattern:
+    return QueryPattern.build({"nodes": ["a", "b"],
+                               "edges": [(0, 1, axis)]})
+
+
+def pair_plan(algorithm: JoinAlgorithm, axis: Axis):
+    return StructuralJoinPlan(IndexScanPlan(0), IndexScanPlan(1),
+                              0, 1, axis, algorithm)
+
+
+#: edge-case document shapes for the skip-ahead paths: runs the join
+#: must jump over (disjoint, before, after), fully nested chains the
+#: Desc join's parent-chain climb walks, and repeated starts.
+EDGE_DOCUMENTS = {
+    "absent-desc": "<r><a/><a><a/></a></r>",
+    "absent-anc": "<r><b/><b><b/></b></r>",
+    "both-absent": "<r><c/></r>",
+    "no-overlap": "<r><a/><a/><b/><b/></r>",
+    "desc-first": "<r><b/><b/><a/><a/></r>",
+    "fully-nested": "<r><a><a><a><b/></a></a></a><b/></r>",
+    "nested-mixed": ("<r><a><b/><a><b/><b/></a></a><b/>"
+                     "<a><a/><b><a><b/></a></b></a></r>"),
+    "interleaved": "<r><a><b/></a><c/><a><c/><b/></a><b/></r>",
+}
+
+
+@pytest.mark.parametrize("shape", sorted(EDGE_DOCUMENTS))
+@pytest.mark.parametrize("axis_name,axis",
+                         [("//", Axis.DESCENDANT), ("/", Axis.CHILD)])
+@pytest.mark.parametrize("algorithm", [JoinAlgorithm.STACK_TREE_DESC,
+                                       JoinAlgorithm.STACK_TREE_ANC])
+def test_skip_ahead_edge_cases(shape, axis_name, axis, algorithm):
+    database = Database.from_document(
+        parse_xml(EDGE_DOCUMENTS[shape], name=shape))
+    pattern = pair_pattern(axis_name)
+    assert_engines_agree(database, pair_plan(algorithm, axis), pattern)
+
+
+@pytest.mark.parametrize("plan_builder", [fully_pipelined_plan,
+                                          blocking_plan])
+def test_running_example_plans_agree(small_database,
+                                     running_example_pattern,
+                                     plan_builder):
+    execution = assert_engines_agree(small_database, plan_builder(),
+                                     running_example_pattern)
+    assert len(execution) > 0
+
+
+def test_block_sort_counters(small_database, running_example_pattern):
+    """A plan with an explicit sort charges identical sort counters."""
+    execution = assert_engines_agree(small_database, blocking_plan(),
+                                     running_example_pattern)
+    assert execution.metrics.sort_count > 0
+
+
+def test_wildcard_and_predicate_parity(small_database):
+    for xpath in ("//manager/*", "//*", '//manager[@id="m2"]//name',
+                  '//employee[@id="e3"]'):
+        pattern = small_database.compile(xpath)
+        plan = small_database.optimize(pattern).plan
+        assert_engines_agree(small_database, plan, pattern)
+
+
+# -- decode cache ---------------------------------------------------------
+
+
+@pytest.fixture
+def index():
+    return TagIndex(BufferPool(InMemoryDisk(), capacity=16))
+
+
+class TestDecodeCache:
+    def test_scan_blocks_cached_identity(self, index, small_document):
+        index.index_document(small_document)
+        first = index.scan_blocks("manager")
+        assert index.scan_blocks("manager") is first
+        assert index.scan_blocks_all() is index.scan_blocks_all()
+        assert [r.start for r in first.regions] == [
+            r.start for r in index.scan("manager")]
+
+    def test_merged_block_is_document_ordered(self, index,
+                                              small_document):
+        index.index_document(small_document)
+        merged = index.scan_blocks_all()
+        assert len(merged) == len(small_document)
+        assert list(merged.starts) == sorted(merged.starts)
+
+    def test_mutation_invalidates(self, index, small_document):
+        index.index_document(small_document)
+        stale = index.scan_blocks("manager")
+        epoch = index.decode_epoch
+        last = max(node.start for node in small_document)
+        index.add(NodeRecord(last + 1, "manager",
+                             Region(last + 1, last + 2, 1),
+                             parent_id=0))
+        assert index.decode_epoch == epoch + 1
+        fresh = index.scan_blocks("manager")
+        assert fresh is not stale
+        assert len(fresh) == len(stale) + 1
+        assert index.scan_blocks_all() is not None
+
+    def test_reload_discards_cache(self, small_document):
+        database = Database.from_document(small_document)
+        pattern = database.compile("//manager//employee")
+        before = database.query(pattern).execution
+        database.reload(parse_xml(
+            "<company><manager><employee/></manager></company>",
+            name="tiny"))
+        after = database.query(pattern).execution
+        assert len(before) > len(after) == 1
+
+    def test_tuple_engine_leaves_cache_cold(self, small_document):
+        database = Database.from_document(small_document,
+                                          engine="tuple")
+        database.query("//manager//employee")
+        assert not database.index._blocks
+        database.query("//manager//employee", engine="block")
+        assert database.index._blocks
+
+
+# -- batched index build --------------------------------------------------
+
+
+class TestAddMany:
+    def _records(self, document):
+        return [node for node in document]
+
+    def test_matches_add_loop(self, small_document):
+        one = TagIndex(BufferPool(InMemoryDisk(), capacity=16))
+        many = TagIndex(BufferPool(InMemoryDisk(), capacity=16))
+        for node in self._records(small_document):
+            one.add(node)
+        added = many.add_many(self._records(small_document))
+        assert added == len(small_document)
+        assert one.counts() == many.counts()
+        for tag in one.tags():
+            assert one.regions(tag) == many.regions(tag)
+
+    def test_out_of_order_rejected(self, index):
+        with pytest.raises(StorageError, match="document order"):
+            index.add_many([
+                NodeRecord(5, "a", Region(5, 6, 1), parent_id=0),
+                NodeRecord(3, "a", Region(3, 4, 1), parent_id=0),
+            ])
+
+    def test_tags_stay_sorted_after_new_tag(self, index,
+                                            small_document):
+        index.index_document(small_document)
+        listed = index.tags()
+        assert listed == sorted(listed)
+        last = max(node.start for node in small_document)
+        index.add(NodeRecord(last + 1, "aaa",
+                             Region(last + 1, last + 2, 1),
+                             parent_id=0))
+        assert "aaa" in index.tags()
+        assert index.tags() == sorted(index.tags())
+
+
+# -- page-batched node reader ---------------------------------------------
+
+
+def test_node_reader_matches_fetch_node():
+    document = parse_xml(
+        "<r>" + "<n a='1'/>" * 700 + "</r>", name="wide")
+    database = Database.from_document(document)
+    reader = database.store.reader()
+    for node in document:
+        assert reader.node(node.start) == database.store.fetch_node(
+            node.start)
+
+
+# -- engine selection -----------------------------------------------------
+
+
+class TestEngineSelection:
+    def test_invalid_engine_rejected(self, small_document):
+        with pytest.raises(PlanError, match="unknown engine"):
+            Database.from_document(small_document, engine="vector")
+        database = Database.from_document(small_document)
+        with pytest.raises(PlanError, match="unknown engine"):
+            database.query("//manager", engine="vector")
+
+    def test_per_call_override(self, small_database):
+        base = small_database.query("//manager//employee")
+        for engine in ("tuple", "block"):
+            result = small_database.query("//manager//employee",
+                                          engine=engine)
+            assert result.execution.tuples == base.execution.tuples
+
+    def test_query_many_engine(self, small_database):
+        queries = ["//manager//employee", "//department/name"]
+        for engine in ("tuple", "block"):
+            batch = small_database.query_many(queries, engine=engine,
+                                              workers=2)
+            for query, result in zip(queries, batch):
+                solo = small_database.query(query, engine=engine)
+                assert result.execution.tuples == solo.execution.tuples
+
+    def test_cli_engine_flag(self, tmp_path, personnel_xml):
+        path = tmp_path / "pers.xml"
+        path.write_text(personnel_xml)
+        outputs = {}
+        for engine in ("tuple", "block"):
+            out = io.StringIO()
+            code = main(["query", "--xml", str(path),
+                         "--engine", engine, "--limit", "0",
+                         "//manager//employee/name"], out=out)
+            assert code == 0
+            first_line = out.getvalue().splitlines()[0]
+            outputs[engine] = first_line.split(" matches")[0]
+            assert "matches" in first_line
+        assert outputs["tuple"] == outputs["block"]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api import Database
+from repro.errors import ReproError
 from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
                               StructuralJoinPlan)
 from repro.engine.nestedloop import naive_pattern_matches
@@ -158,3 +159,76 @@ def test_nested_loop_plan_covers_pattern(running_example_pattern):
     assert plan.pattern_nodes() == frozenset(
         range(len(running_example_pattern)))
     assert plan.join_count() == len(running_example_pattern.edges)
+
+
+# -- engine oracle: block vs tuple ---------------------------------------
+
+
+def _check_engines(database, pattern) -> list[str]:
+    """Exact-sequence cross-check of the two execution engines.
+
+    Stricter than the binding oracle above: the block engine promises
+    the *identical tuple list* (same order, same duplicates) and the
+    identical cost-model counters as the iterator engine, for any
+    plan — see the invariants in :mod:`repro.engine.blocks`.
+    """
+    from repro.bench.speed import PARITY_COUNTERS
+
+    problems: list[str] = []
+    plans = [("nested-loop", nested_loop_plan(pattern))]
+    try:
+        plans.append(
+            ("DPP", database.optimize(pattern, algorithm="DPP").plan))
+    except ReproError:
+        # engine parity must hold for any *executable* plan; a pattern
+        # the optimizer rejects still exercises the nested-loop pair
+        pass
+    for name, plan in plans:
+        tuple_run = database.execute(plan, pattern, engine="tuple")
+        block_run = database.execute(plan, pattern, engine="block")
+        if tuple_run.tuples != block_run.tuples:
+            problems.append(
+                f"{name}: block engine emitted {len(block_run)} "
+                f"tuples, tuple engine {len(tuple_run)} (or ordering "
+                f"differs)")
+        for counter in PARITY_COUNTERS:
+            expected = getattr(tuple_run.metrics, counter)
+            actual = getattr(block_run.metrics, counter)
+            if expected != actual:
+                problems.append(
+                    f"{name}: counter {counter} diverged "
+                    f"(tuple {expected}, block {actual})")
+    return problems
+
+
+def _run_engine_corpus(corpus: int,
+                       document_size: int) -> tuple[int, list]:
+    rng = make_rng(20030306)
+    disagreements: list[str] = []
+    databases = [Database.from_document(document)
+                 for document in _documents(document_size)]
+    checked = 0
+    while checked < corpus:
+        database = databases[checked % len(databases)]
+        pattern = _pattern_for(database.document, rng)
+        for problem in _check_engines(database, pattern):
+            disagreements.append(
+                f"[doc={database.name} pattern="
+                f"{pattern.describe()!r}] {problem}")
+        checked += 1
+    return checked, disagreements
+
+
+def test_engine_differential_quick_corpus():
+    checked, disagreements = _run_engine_corpus(QUICK_CORPUS,
+                                                document_size=48)
+    assert checked >= 200
+    assert not disagreements, "\n".join(disagreements)
+
+
+@pytest.mark.slow
+def test_engine_differential_slow_corpus():
+    checked, disagreements = _run_engine_corpus(SLOW_CORPUS,
+                                                document_size=90)
+    assert checked >= SLOW_CORPUS
+    assert not disagreements, "\n".join(disagreements)
