@@ -25,6 +25,7 @@ Example::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -42,6 +43,8 @@ from repro.engine.executor import (ExecutionResult, Executor,
 from repro.estimation.estimator import (CardinalityEstimator,
                                         ExactEstimator,
                                         PositionalEstimator)
+from repro.obs.explain import ExplainReport, build_analysis
+from repro.obs.spans import Span, Tracer
 from repro.service.service import QueryService
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, InMemoryDisk
@@ -102,6 +105,9 @@ class Database:
         #: optimizer plans with) changes; part of every plan-cache key.
         self.statistics_epoch = 0
         self._service: "QueryService | None" = None
+        #: bounded ring of query span trees recorded by
+        #: :meth:`explain` with ``analyze=True``.
+        self.tracer = Tracer()
 
     # -- construction ----------------------------------------------------------
 
@@ -267,17 +273,21 @@ class Database:
         return optimizer.optimize(pattern, estimator)
 
     def execute(self, plan: PhysicalPlan, pattern: QueryPattern,
-                engine: str | None = None) -> ExecutionResult:
+                engine: str | None = None,
+                spans: bool = False) -> ExecutionResult:
         """Run a physical plan against the stored document.
 
         *engine* overrides the database default for this run
         (``"block"`` or ``"tuple"``; see :data:`Database.engine`).
+        With ``spans=True`` the run records a per-operator span tree
+        (returned on :attr:`ExecutionResult.span`).
         """
         self._require_document()
         context = EngineContext(self.index, self.store, self.document,
                                 factors=self.cost_factors)
         return Executor(context, pattern,
-                        engine=engine or self.engine).execute(plan)
+                        engine=engine or self.engine).execute(
+                            plan, spans=spans)
 
     def query(self, query: str | QueryPattern,
               algorithm: str = "DPP", engine: str | None = None,
@@ -289,6 +299,57 @@ class Database:
         execution = self.execute(optimization.plan, pattern,
                                  engine=engine)
         return QueryResult(optimization=optimization, execution=execution)
+
+    def explain(self, query: str | QueryPattern,
+                algorithm: str = "DPP", analyze: bool = False,
+                engine: str | None = None,
+                **options: object) -> ExplainReport:
+        """EXPLAIN (ANALYZE): the chosen plan, optionally annotated
+        with measured per-operator cardinality, cost and wall time.
+
+        With ``analyze=True`` the plan is executed under tracing and
+        the report carries, for each operator, estimated vs. actual
+        output cardinality and cost with their Q-errors, plus the
+        operator's exact share of every cost-model counter (the shares
+        sum exactly to the run's :class:`ExecutionMetrics`).  The
+        query-level span tree (parse / optimize / execute stages) is
+        recorded on :attr:`Database.tracer`.
+        """
+        engine = validate_engine(engine or self.engine)
+        started = time.perf_counter()
+        pattern = self.compile(query)
+        parse_seconds = time.perf_counter() - started
+        label = query if isinstance(query, str) else repr(pattern)
+        optimization = self.optimize(pattern, algorithm=algorithm,
+                                     **options)
+        report = ExplainReport(query=label, algorithm=algorithm,
+                               engine=engine, optimization=optimization,
+                               parse_seconds=parse_seconds)
+        if not analyze:
+            return report
+        execution = self.execute(optimization.plan, pattern,
+                                 engine=engine, spans=True)
+        assert execution.span is not None
+        report.analyze = True
+        report.execution = execution
+        report.root = build_analysis(optimization.plan, execution.span,
+                                     pattern)
+        query_span = Span("query", detail=label)
+        parse_span = Span("parse")
+        parse_span.seconds = parse_seconds
+        optimize_span = Span("optimize", detail=f"optimize[{algorithm}]")
+        optimize_span.seconds = optimization.report.optimization_seconds
+        execute_span = Span("execute", detail=f"execute[{engine}]")
+        execute_span.seconds = execution.metrics.wall_seconds
+        execute_span.output_rows = len(execution)
+        execute_span.children.append(execution.span)
+        query_span.children = [parse_span, optimize_span, execute_span]
+        query_span.seconds = sum(child.seconds
+                                 for child in query_span.children)
+        query_span.output_rows = len(execution)
+        report.span = query_span
+        self.tracer.record(query_span)
+        return report
 
     # -- serving -----------------------------------------------------------
 

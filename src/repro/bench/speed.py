@@ -4,7 +4,10 @@ Measures wall-clock for both execution engines on a small ladder of
 paper queries (the hot case is the folded-Pers evaluation of
 ``Q.Pers.3.d`` — the Table 3 query whose plan quality the paper
 stresses), checks that the cost-model counters agree between engines
-on every run, and emits a machine-readable report.  The report is
+on every run, and emits a machine-readable report.  Each cell also
+carries a per-operator breakdown (rows, wall time, cost-counter
+shares) from one extra traced run outside the timed loops — tracing
+is never enabled while timing.  The report is
 written as ``BENCH_PR2.json`` by ``python -m repro bench engines
 --json`` and tracked in CI, so every PR carries a comparable number
 for the hot path.
@@ -29,6 +32,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.bench.harness import ExperimentSetup, dataset_database
+from repro.obs.explain import build_analysis
 from repro.workloads.queries import paper_query
 
 #: the cost-model counters both engines must agree on, run for run.
@@ -87,6 +91,20 @@ def measure_workload(spec: SpeedWorkload, setup: ExperimentSetup,
         counters[engine] = {counter: getattr(execution.metrics, counter)
                             for counter in PARITY_COUNTERS}
         result_count = len(execution)
+    # one extra traced run (block engine, outside the timed loops —
+    # tracing is never on during timing) for the per-operator breakdown
+    traced = database.execute(plan, query.pattern, engine="block",
+                              spans=True)
+    analysis = build_analysis(plan, traced.span, query.pattern)
+    operators = [{
+        "operator": node.label,
+        "rows": node.actual_rows,
+        "estimated_rows": node.estimated_rows,
+        "rows_q_error": node.rows_q_error,
+        "self_seconds": node.self_seconds,
+        "simulated_cost": node.simulated_cost,
+        "counters": dict(node.counters),
+    } for node in analysis.walk()]
     return {
         "workload": spec.name,
         "dataset": spec.dataset,
@@ -99,6 +117,7 @@ def measure_workload(spec: SpeedWorkload, setup: ExperimentSetup,
         "speedup": seconds["tuple"] / max(seconds["block"], 1e-12),
         "counters_match": counters["tuple"] == counters["block"],
         "counters": counters["block"],
+        "operators": operators,
     }
 
 

@@ -15,6 +15,10 @@ Examples::
     python -m repro query --dataset pers --nodes 3000 --algorithm FP \
         --explain "//manager/department/name"
     python -m repro explain --dataset dblp "//article/author"
+    python -m repro explain --dataset pers --analyze --engine block \
+        "//manager//employee/name"
+    python -m repro explain --dataset pers --trace "//manager//name"
+    python -m repro stats --dataset pers --serve 5 --format prometheus
     python -m repro generate mbench --nodes 2000 --output mbench.xml
     python -m repro bench table2
 """
@@ -22,6 +26,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import IO, Sequence
 
@@ -84,12 +89,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="thread-pool width for --repeat batches")
 
     explain = commands.add_parser(
-        "explain", help="compare the plans all algorithms pick")
+        "explain", help="compare the plans all algorithms pick, or "
+                        "EXPLAIN ANALYZE one of them")
     add_source(explain)
     explain.add_argument("xpath")
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the chosen plan under tracing "
+                              "and annotate it with estimated vs. "
+                              "actual rows/cost and per-operator "
+                              "Q-error")
+    explain.add_argument("--algorithm", choices=ALGORITHMS,
+                         default="DPP",
+                         help="optimizer for --analyze/--trace/--json "
+                              "(without those flags every algorithm "
+                              "is compared)")
+    explain.add_argument("--engine", choices=("block", "tuple"),
+                         default="block",
+                         help="execution mode for --analyze")
+    explain.add_argument("--trace", action="store_true",
+                         help="print the optimizer's search trace "
+                              "(DPP-family algorithms only)")
+    explain.add_argument("--json", metavar="FILE", default=None,
+                         help="write the report as JSON, including "
+                              "the span tree under --analyze "
+                              "('-' for stdout)")
 
-    stats = commands.add_parser("stats", help="document statistics")
+    stats = commands.add_parser(
+        "stats", help="document statistics and service metrics")
     add_source(stats)
+    stats.add_argument("--format", choices=("table", "json",
+                                            "prometheus"),
+                       default="table",
+                       help="table (default), metrics-registry JSON, "
+                            "or the Prometheus text format")
+    stats.add_argument("--serve", type=int, default=0, metavar="N",
+                       help="first serve the data set's paper workload "
+                            "N times through the query service, so "
+                            "the metrics are non-trivial")
 
     generate = commands.add_parser(
         "generate", help="write a synthetic data set as XML")
@@ -196,6 +232,43 @@ def _command_query(arguments: argparse.Namespace, out: IO[str]) -> int:
 def _command_explain(arguments: argparse.Namespace, out: IO[str]) -> int:
     database = _open_database(arguments)
     pattern = database.compile(arguments.xpath)
+    if arguments.trace:
+        from repro.core.trace import SearchTrace
+
+        recorder = SearchTrace()
+        try:
+            result = database.optimize(pattern,
+                                       algorithm=arguments.algorithm,
+                                       trace=recorder)
+        except TypeError:
+            raise ReproError(
+                f"--trace needs a DPP-family algorithm "
+                f"(DPP, DPP', DPAP-EB, DPAP-LD); "
+                f"{arguments.algorithm} does not record a search trace")
+        out.write(f"=== {arguments.algorithm} search trace\n")
+        out.write(recorder.narrative(limit=60) + "\n\n")
+        out.write(f"chosen plan (estimated "
+                  f"{result.estimated_cost:,.0f}):\n")
+        out.write(result.explain() + "\n")
+        if not (arguments.analyze or arguments.json):
+            return 0
+    if arguments.analyze or arguments.json:
+        report = database.explain(arguments.xpath,
+                                  algorithm=arguments.algorithm,
+                                  analyze=arguments.analyze,
+                                  engine=arguments.engine)
+        out.write(report.render() + "\n")
+        if arguments.json:
+            payload = json.dumps(report.to_dict(), indent=2,
+                                 sort_keys=True) + "\n"
+            if arguments.json == "-":
+                out.write(payload)
+            else:
+                with open(arguments.json, "w",
+                          encoding="utf-8") as handle:
+                    handle.write(payload)
+                out.write(f"wrote {arguments.json}\n")
+        return 0
     out.write("Pattern:\n" + pattern.describe() + "\n")
     for algorithm in ALGORITHMS:
         result = database.optimize(pattern, algorithm=algorithm)
@@ -207,10 +280,32 @@ def _command_explain(arguments: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _serve_paper_workload(database: Database, dataset: str | None,
+                          repeats: int) -> int:
+    """Run the data set's Table-1 queries *repeats* times through the
+    plan-caching service; returns how many queries were served."""
+    from repro.workloads.queries import PAPER_QUERIES
+
+    queries = [query.pattern for query in PAPER_QUERIES.values()
+               if dataset is None or query.dataset == dataset]
+    if not queries:
+        return 0
+    database.query_many(queries * repeats)
+    return len(queries) * repeats
+
+
 def _command_stats(arguments: argparse.Namespace, out: IO[str]) -> int:
     database = _open_database(arguments)
+    if arguments.serve:
+        _serve_paper_workload(database, arguments.dataset,
+                              arguments.serve)
+    if arguments.format != "table":
+        out.write(database.service.export_metrics(arguments.format))
+        return 0
     for key, value in database.statistics().items():
         out.write(f"{key:16s} {value}\n")
+    if arguments.serve:
+        _write_service_stats(database, out)
     histogram = database.document.tag_histogram()
     out.write("tags:\n")
     for tag in sorted(histogram, key=histogram.get, reverse=True):

@@ -41,6 +41,7 @@ that regions of one tree either nest or are disjoint:
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left, bisect_right
 from itertools import repeat
 from operator import add
@@ -168,6 +169,11 @@ class BlockOperator:
         self.schema = schema
         self.ordered_by = ordered_by
         self.metrics = metrics
+        #: tracing hook (:class:`repro.obs.spans.Span`): attached by
+        #: the executor for traced runs, ``None`` otherwise — one
+        #: ``is None`` check per operator per execution, so untraced
+        #: block execution is unchanged.
+        self._span = None
         self._consumed = False
 
     def block(self) -> TupleBlock:
@@ -175,7 +181,18 @@ class BlockOperator:
         if self._consumed:
             raise PlanError("operator streams are single-use")
         self._consumed = True
-        return self._produce()
+        span = self._span
+        if span is None:
+            return self._produce()
+        started = time.perf_counter()
+        block = self._produce()
+        span.seconds += time.perf_counter() - started
+        span.output_rows = len(block.rows)
+        return block
+
+    def describe(self) -> str:
+        """One-line label for spans and traces (subclasses refine)."""
+        return type(self).__name__
 
     def _produce(self) -> TupleBlock:
         raise NotImplementedError
@@ -196,6 +213,10 @@ class BlockIndexScan(BlockOperator):
                          pattern_node.node_id, context.metrics)
         self.pattern_node = pattern_node
         self.context = context
+
+    def describe(self) -> str:
+        return (f"IndexScan(${self.pattern_node.node_id}:"
+                f"{self.pattern_node.label()})")
 
     def _produce(self) -> TupleBlock:
         index = self.context.tag_index
@@ -249,6 +270,9 @@ class BlockSort(BlockOperator):
         self.child = child
         self.by_node = by_node
 
+    def describe(self) -> str:
+        return f"Sort(by ${self.by_node})"
+
     def _produce(self) -> TupleBlock:
         child_block = self.child.block()
         position = self.schema.position(self.by_node)
@@ -272,6 +296,10 @@ class _BlockJoinBase(BlockOperator):
         self.ancestor_node = ancestor_node
         self.descendant_node = descendant_node
         self.axis = axis
+
+    def describe(self) -> str:
+        return (f"{type(self).__name__}(${self.ancestor_node} "
+                f"{self.axis} ${self.descendant_node})")
 
     def _inputs(self) -> tuple[TupleBlock, ColumnGroups,
                                TupleBlock, ColumnGroups]:
@@ -451,11 +479,17 @@ class BlockNestedLoopJoin(BlockOperator):
                          ancestor_input.metrics)
         self.ancestor_input = ancestor_input
         self.descendant_input = descendant_input
+        self.ancestor_node = ancestor_node
+        self.descendant_node = descendant_node
         self.ancestor_position = ancestor_input.schema.position(
             ancestor_node)
         self.descendant_position = descendant_input.schema.position(
             descendant_node)
         self.axis = axis
+
+    def describe(self) -> str:
+        return (f"NestedLoopJoin(${self.ancestor_node} "
+                f"{self.axis} ${self.descendant_node})")
 
     def _produce(self) -> TupleBlock:
         self.metrics.join_count += 1

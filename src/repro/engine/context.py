@@ -31,12 +31,18 @@ class EngineContext:
     def __init__(self, tag_index: TagIndex,
                  element_store: ElementStore | None = None,
                  document: XmlDocument | None = None,
-                 factors: CostFactors | None = None) -> None:
+                 factors: CostFactors | None = None,
+                 tracing: bool = False) -> None:
         self.tag_index = tag_index
         self.element_store = element_store
         self.document = document
         self.factors = factors or CostFactors()
         self.metrics = ExecutionMetrics(factors=self.factors)
+        #: when True, executions against this context record a span
+        #: per operator (see :mod:`repro.obs.spans`).  Off by default:
+        #: the untraced hot path pays a single ``is None`` check per
+        #: operator per run, nothing per tuple.
+        self.tracing = tracing
 
     def for_run(self) -> "EngineContext":
         """A run-scoped context: shared storage, private metrics.
@@ -46,7 +52,8 @@ class EngineContext:
         context — otherwise concurrent runs cross-pollute counters.
         """
         return EngineContext(self.tag_index, self.element_store,
-                             self.document, factors=self.factors)
+                             self.document, factors=self.factors,
+                             tracing=self.tracing)
 
     def fresh_metrics(self) -> ExecutionMetrics:
         """Reset and return the metrics object for a new run.

@@ -29,6 +29,7 @@ from repro.engine.scan import IndexScan
 from repro.engine.sort import SortOperator
 from repro.engine.stackjoin import StackTreeAncJoin, StackTreeDescJoin
 from repro.engine.tuples import MatchTuple, Schema
+from repro.obs.spans import Span
 
 #: the two execution modes; block is the default everywhere.
 ENGINE_NAMES = ("block", "tuple")
@@ -41,13 +42,29 @@ def validate_engine(engine: str) -> str:
     return engine
 
 
+def _operator_children(operator) -> tuple:
+    """Input operators of an (iterator or block) operator, in the
+    same order the corresponding plan node lists its children."""
+    if hasattr(operator, "child"):
+        return (operator.child,)
+    if hasattr(operator, "ancestor_input"):
+        return (operator.ancestor_input, operator.descendant_input)
+    return ()
+
+
 @dataclass
 class ExecutionResult:
-    """Everything one plan execution produced."""
+    """Everything one plan execution produced.
+
+    ``span`` is the root of the per-operator span tree when the run
+    was traced (``Executor.execute(..., spans=True)``), else ``None``.
+    The span tree mirrors the plan tree node for node.
+    """
 
     tuples: list[MatchTuple]
     schema: Schema
     metrics: ExecutionMetrics
+    span: Span | None = None
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -156,8 +173,40 @@ class Executor:
                                        plan.descendant_node, plan.axis)
         raise PlanError(f"unknown plan node type {type(plan).__name__}")
 
+    def instrument(self, root, plan: PhysicalPlan,
+                   factors=None) -> Span:
+        """Attach a span (and private metrics) to every operator.
+
+        Each operator in *root*'s tree — iterator or block — gets its
+        own :class:`~repro.engine.metrics.ExecutionMetrics`, so every
+        counter increment is attributed to exactly one operator; the
+        caller merges the span metrics back into the run totals after
+        the run, which keeps per-operator shares summing exactly to
+        the run's counters.  Must be called after ``build`` /
+        ``build_block`` and before the run.
+        """
+        factors = factors or self.context.factors
+        metrics = ExecutionMetrics(factors=factors)
+        root.metrics = metrics
+        span = Span(type(root).__name__, detail=root.describe(),
+                    estimated_cardinality=plan.estimated_cardinality,
+                    estimated_cost=plan.estimated_cost,
+                    metrics=metrics)
+        root._span = span
+        children = _operator_children(root)
+        plans = plan.children()
+        if len(children) != len(plans):
+            raise PlanError(
+                f"operator tree does not mirror the plan: "
+                f"{type(root).__name__} has {len(children)} inputs, "
+                f"plan node has {len(plans)}")
+        span.children = [self.instrument(child, child_plan, factors)
+                         for child, child_plan in zip(children, plans)]
+        return span
+
     def execute(self, plan: PhysicalPlan,
-                engine: str | None = None) -> ExecutionResult:
+                engine: str | None = None,
+                spans: bool | None = None) -> ExecutionResult:
         """Run *plan* to completion with run-private metrics.
 
         The shared context is never mutated: each execution builds its
@@ -166,17 +215,28 @@ class Executor:
         buffer counter deltas come from the shared pool, so under
         concurrency they attribute I/O approximately (aggregate totals
         stay exact); the simulated-cost counters are always private.
+
+        *spans* enables per-operator tracing for this run (defaults to
+        the context's ``tracing`` flag); the resulting span tree is
+        returned on :attr:`ExecutionResult.span` and its per-operator
+        counter shares sum exactly to the result's metrics.
         """
         engine = (self.engine if engine is None
                   else validate_engine(engine))
+        if spans is None:
+            spans = self.context.tracing
         run = self.context.for_run()
         metrics = run.metrics
         pool = run.tag_index.pool
         io_before = pool.disk.stats.snapshot()
         hits_before = pool.stats.hits
         misses_before = pool.stats.misses
+        span_root: Span | None = None
         if engine == "block":
             block_root = self.build_block(plan, run)
+            if spans:
+                span_root = self.instrument(block_root, plan,
+                                            run.factors)
             started = time.perf_counter()
             block = block_root.block()
             metrics.wall_seconds = time.perf_counter() - started
@@ -186,16 +246,24 @@ class Executor:
             schema = block.schema
         else:
             root = self.build(plan, run)
+            if spans:
+                span_root = self.instrument(root, plan, run.factors)
             started = time.perf_counter()
             tuples = list(root.run())
             metrics.wall_seconds = time.perf_counter() - started
             schema = root.schema
+        if span_root is not None:
+            # traced operators wrote to private counters; fold them
+            # into the run totals so traced and untraced executions
+            # report identical ExecutionMetrics
+            for span in span_root.walk():
+                metrics.merge(span.metrics)
         metrics.page_reads = pool.disk.stats.reads - io_before.reads
         metrics.page_writes = pool.disk.stats.writes - io_before.writes
         metrics.buffer_hits = pool.stats.hits - hits_before
         metrics.buffer_misses = pool.stats.misses - misses_before
         return ExecutionResult(tuples=tuples, schema=schema,
-                               metrics=metrics)
+                               metrics=metrics, span=span_root)
 
     def time_to_first(self, plan: PhysicalPlan,
                       results: int = 1) -> FirstResultTiming:

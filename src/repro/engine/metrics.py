@@ -23,6 +23,13 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.cost import CostFactors
+from repro.errors import ReproError
+
+#: the cost-model counters (plus sort diagnostics) that must agree
+#: between engines and sum exactly across per-operator attributions.
+COST_COUNTERS = ("index_items", "sort_count", "sorted_items",
+                 "sort_units", "buffered_results", "stack_tuple_ops",
+                 "output_tuples", "join_count")
 
 
 @dataclass
@@ -57,8 +64,23 @@ class ExecutionMetrics:
                 + self.factors.f_io * 2.0 * self.buffered_results
                 + self.factors.f_stack * 2.0 * self.stack_tuple_ops)
 
+    def counters(self) -> dict[str, float]:
+        """The cost-model counters as a dict (parity checks, exports)."""
+        return {name: getattr(self, name) for name in COST_COUNTERS}
+
     def merge(self, other: "ExecutionMetrics") -> None:
-        """Accumulate counters from another run (for aggregate reports)."""
+        """Accumulate counters from another run (for aggregate reports).
+
+        Both sides must share one set of cost factors: merging runs
+        priced in different currencies would make the aggregate
+        ``simulated_cost()`` meaningless, so a mismatch raises instead
+        of silently keeping ``self``'s factors.
+        """
+        if other.factors != self.factors:
+            raise ReproError(
+                f"cannot merge ExecutionMetrics with different cost "
+                f"factors ({self.factors} vs {other.factors}); "
+                f"re-express one run before aggregating")
         self.index_items += other.index_items
         self.sort_units += other.sort_units
         self.sorted_items += other.sorted_items

@@ -38,10 +38,16 @@ class NestedLoopJoin(Operator):
                          ancestor_input.metrics)
         self.ancestor_input = ancestor_input
         self.descendant_input = descendant_input
+        self.ancestor_node = ancestor_node
+        self.descendant_node = descendant_node
         self.ancestor_position = ancestor_input.schema.position(ancestor_node)
         self.descendant_position = descendant_input.schema.position(
             descendant_node)
         self.axis = axis
+
+    def describe(self) -> str:
+        return (f"NestedLoopJoin(${self.ancestor_node} "
+                f"{self.axis} ${self.descendant_node})")
 
     def _produce(self) -> Iterator[MatchTuple]:
         self.metrics.join_count += 1

@@ -30,6 +30,11 @@ class Operator:
         self.schema = schema
         self.ordered_by = ordered_by
         self.metrics = metrics
+        #: tracing hook (:class:`repro.obs.spans.Span`): attached by the
+        #: executor for traced runs, ``None`` otherwise.  The only cost
+        #: when tracing is off is the one ``is None`` check in
+        #: :meth:`run` — never anything per tuple.
+        self._span = None
         self._consumed = False
 
     def run(self) -> Iterator[MatchTuple]:
@@ -37,7 +42,14 @@ class Operator:
         if self._consumed:
             raise PlanError("operator streams are single-use")
         self._consumed = True
-        return self._produce()
+        stream = self._produce()
+        if self._span is None:
+            return stream
+        return self._span.wrap(stream)
+
+    def describe(self) -> str:
+        """One-line label for spans and traces (subclasses refine)."""
+        return type(self).__name__
 
     def _produce(self) -> Iterator[MatchTuple]:
         raise NotImplementedError

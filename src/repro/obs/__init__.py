@@ -1,0 +1,39 @@
+"""Observability: spans, EXPLAIN ANALYZE, and a metrics registry.
+
+Three pieces, threaded through every layer of the system:
+
+* :mod:`repro.obs.spans` — per-query span trees (pipeline stages plus
+  one span per plan operator in both engines), with exact
+  per-operator shares of the cost-model counters;
+* :mod:`repro.obs.explain` — estimate-vs-actual plan feedback with
+  per-operator Q-errors (``Database.explain(query, analyze=True)``);
+* :mod:`repro.obs.registry` — named counters/gauges/histograms with
+  Prometheus-text and JSON exporters, plus the uniform
+  :class:`~repro.obs.registry.SampleReservoir` backing the query
+  service's latency percentiles.
+
+All engine-level instrumentation is zero-cost when disabled: a single
+``is None`` check per operator per execution, never per tuple.
+"""
+
+from repro.obs.explain import (ExplainReport, OperatorAnalysis,
+                               build_analysis, q_error)
+from repro.obs.registry import (Counter, Gauge, Histogram,
+                                MetricsRegistry, SampleReservoir,
+                                get_global_registry)
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "ExplainReport",
+    "OperatorAnalysis",
+    "build_analysis",
+    "q_error",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SampleReservoir",
+    "get_global_registry",
+    "Span",
+    "Tracer",
+]

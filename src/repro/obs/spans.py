@@ -1,0 +1,190 @@
+"""Span trees: per-query tracing for the execution engines.
+
+A :class:`Span` is one timed node of a query's trace — a pipeline
+stage (parse, optimize, execute) or one physical operator.  Operator
+spans additionally carry the operator's *private*
+:class:`~repro.engine.metrics.ExecutionMetrics`, so each operator's
+share of every cost-model counter is attributed exactly: when tracing
+is enabled the executor hands every operator its own counters and
+merges them back into the run totals afterwards, which keeps the
+per-operator shares summing *exactly* to the run's
+``ExecutionMetrics`` (asserted by ``tests/test_obs.py``).
+
+Instrumentation is zero-cost when disabled: operators carry a
+``_span`` slot that defaults to ``None`` and is checked once per
+``run()``/``block()`` call — never per tuple — so the untraced hot
+path is unchanged (see DESIGN.md, "Observability").
+
+Span trees export as JSON (:meth:`Span.to_dict`) and as an indented
+text tree (:meth:`Span.render`).  A :class:`Tracer` is a thread-safe
+bounded ring of finished query traces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator
+
+__all__ = ["Span", "Tracer"]
+
+#: counters exported per operator span (the cost-model counters plus
+#: the sort diagnostics; page/buffer I/O stays run-level — the buffer
+#: pool is shared, so per-operator attribution would be approximate).
+SPAN_COUNTERS = ("index_items", "sort_count", "sorted_items",
+                 "sort_units", "buffered_results", "stack_tuple_ops",
+                 "output_tuples", "join_count")
+
+
+class Span:
+    """One timed node of a query trace.
+
+    ``seconds`` is *inclusive* (children run within their parent);
+    :meth:`exclusive_seconds` subtracts the children.  For operator
+    spans, ``metrics`` holds the operator's private counters and
+    ``estimated_cardinality`` / ``estimated_cost`` echo the plan
+    annotations the optimizer derived, so estimate-vs-actual drift can
+    be computed per operator (:mod:`repro.obs.explain`).
+    """
+
+    __slots__ = ("name", "detail", "seconds", "output_rows",
+                 "estimated_cardinality", "estimated_cost", "metrics",
+                 "children")
+
+    def __init__(self, name: str, detail: str = "",
+                 estimated_cardinality: float | None = None,
+                 estimated_cost: float | None = None,
+                 metrics: object | None = None) -> None:
+        self.name = name
+        self.detail = detail
+        self.seconds = 0.0
+        self.output_rows = 0
+        self.estimated_cardinality = estimated_cardinality
+        self.estimated_cost = estimated_cost
+        self.metrics = metrics
+        self.children: list[Span] = []
+
+    # -- instrumentation hooks (hot path; called by the engines) ---------
+
+    def wrap(self, stream: Iterator) -> Iterator:
+        """Time a tuple stream: accumulate per-``next`` wall time and
+        count rows.  Used by the iterator engine, where an operator's
+        work is interleaved with its consumers'."""
+        clock = time.perf_counter
+        while True:
+            started = clock()
+            try:
+                item = next(stream)
+            except StopIteration:
+                self.seconds += clock() - started
+                return
+            self.seconds += clock() - started
+            self.output_rows += 1
+            yield item
+
+    # -- structure -------------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def exclusive_seconds(self) -> float:
+        """Time spent in this span minus its children (>= 0)."""
+        return max(0.0, self.seconds
+                   - sum(child.seconds for child in self.children))
+
+    def counters(self) -> dict[str, float]:
+        """This span's share of the cost-model counters ({} if none)."""
+        if self.metrics is None:
+            return {}
+        return {name: getattr(self.metrics, name)
+                for name in SPAN_COUNTERS}
+
+    # -- export ----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able rendering of the subtree."""
+        payload: dict[str, object] = {
+            "name": self.name,
+            "detail": self.detail,
+            "seconds": self.seconds,
+            "exclusive_seconds": self.exclusive_seconds(),
+            "output_rows": self.output_rows,
+        }
+        if self.estimated_cardinality is not None:
+            payload["estimated_cardinality"] = self.estimated_cardinality
+        if self.estimated_cost is not None:
+            payload["estimated_cost"] = self.estimated_cost
+        if self.metrics is not None:
+            payload["counters"] = self.counters()
+            payload["simulated_cost"] = self.metrics.simulated_cost()
+        payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    def render(self, indent: int = 0) -> str:
+        """Indented text tree of the subtree."""
+        lines: list[str] = []
+        self._render(indent, lines)
+        return "\n".join(lines)
+
+    def _render(self, depth: int, lines: list[str]) -> None:
+        label = self.detail or self.name
+        extras = ""
+        if self.metrics is not None:
+            extras = (f" rows={self.output_rows}"
+                      f" cost={self.metrics.simulated_cost():.1f}")
+        lines.append(f"{'  ' * depth}{label}"
+                     f" {self.seconds * 1e3:.2f}ms{extras}")
+        for child in self.children:
+            child._render(depth + 1, lines)
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, rows={self.output_rows}, "
+                f"seconds={self.seconds:.6f}, "
+                f"children={len(self.children)})")
+
+
+class Tracer:
+    """Thread-safe bounded ring of finished query span trees.
+
+    One tracer per :class:`~repro.api.Database`; every traced query
+    (``Database.explain(..., analyze=True)``) records its root span
+    here, oldest dropped first once *capacity* traces are held.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be at least 1")
+        self.capacity = capacity
+        self._mutex = threading.Lock()
+        self._traces: list[Span] = []
+        self._recorded = 0
+
+    def record(self, span: Span) -> None:
+        """Add a finished trace (drops the oldest beyond capacity)."""
+        with self._mutex:
+            self._recorded += 1
+            self._traces.append(span)
+            if len(self._traces) > self.capacity:
+                del self._traces[:len(self._traces) - self.capacity]
+
+    def traces(self) -> list[Span]:
+        """The retained traces, oldest first (snapshot copy)."""
+        with self._mutex:
+            return list(self._traces)
+
+    @property
+    def recorded(self) -> int:
+        """Total traces ever recorded (including dropped ones)."""
+        with self._mutex:
+            return self._recorded
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._traces)

@@ -16,21 +16,33 @@ taken outside the hot operator loops.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.pattern import QueryPattern
 from repro.engine.metrics import ExecutionMetrics
+from repro.obs.registry import MetricsRegistry, SampleReservoir
 from repro.service.cache import PlanCache, cache_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api import Database, QueryResult
+    from repro.obs.explain import ExplainReport
 
-#: Latency samples kept for percentile estimation; older samples are
-#: dropped oldest-first once the reservoir is full.
+#: Capacity of the latency reservoir backing percentile estimation.
+#: Sampling is Algorithm R (uniform over all observations ever made),
+#: not drop-oldest truncation — see
+#: :class:`~repro.obs.registry.SampleReservoir`.
 LATENCY_RESERVOIR = 8192
+
+#: Queries slower than this (seconds) land in the slow-query log.
+SLOW_QUERY_SECONDS = 0.25
+
+#: Entries retained in the slow-query log (newest win).
+SLOW_LOG_CAPACITY = 32
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
@@ -47,34 +59,67 @@ class QueryService:
 
     def __init__(self, database: "Database",
                  cache_capacity: int = 256,
-                 workers: int = 4) -> None:
+                 workers: int = 4,
+                 registry: MetricsRegistry | None = None,
+                 slow_query_seconds: float = SLOW_QUERY_SECONDS,
+                 slow_log_capacity: int = SLOW_LOG_CAPACITY) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.database = database
         self.cache = PlanCache(capacity=cache_capacity)
         self.default_workers = workers
+        self.slow_query_seconds = slow_query_seconds
         self._mutex = threading.Lock()
-        self._latencies: list[float] = []
+        self._latencies = SampleReservoir(LATENCY_RESERVOIR, seed=0)
         self._engine_totals = ExecutionMetrics(
             factors=database.cost_factors)
         self._queries = 0
         self._errors = 0
+        self._slow_queries: deque[dict[str, object]] = deque(
+            maxlen=slow_log_capacity)
+        #: per-service registry by default so concurrent databases in
+        #: one process (and tests) never share series; pass a shared
+        #: registry (e.g. the global one) to aggregate across services.
+        self.registry = registry or MetricsRegistry()
+        self._queries_total = self.registry.counter(
+            "repro_queries_total", "Queries served")
+        self._errors_total = self.registry.counter(
+            "repro_query_errors_total", "Queries that raised")
+        self._slow_total = self.registry.counter(
+            "repro_slow_queries_total",
+            "Queries slower than the slow-query threshold")
+        self._latency_hist = self.registry.histogram(
+            "repro_query_seconds", "End-to-end query latency")
+        self._queue_wait_hist = self.registry.histogram(
+            "repro_queue_wait_seconds",
+            "Time between batch submission and execution start")
+        self._optimize_hist = self.registry.histogram(
+            "repro_optimize_seconds",
+            "Optimizer time per plan-cache miss, labelled by algorithm")
+        self.registry.register_collector(self._collect)
 
     # -- serving ----------------------------------------------------------
 
     def query(self, query: "str | QueryPattern",
               algorithm: str = "DPP",
               engine: "str | None" = None,
+              submitted_at: float | None = None,
               **options: object) -> "QueryResult":
         """Optimize (through the cache) and execute one query.
 
         ``engine`` picks the execution mode for this run and stays out
         of *options* (which are optimizer arguments and part of the
         plan-cache key — the plan is engine-independent).
+        ``submitted_at`` (a ``perf_counter`` reading) is passed by the
+        batch path so queue wait — submission to execution start — is
+        observable separately from execution time.
         """
         from repro.api import QueryResult
 
         started = time.perf_counter()
+        if submitted_at is not None:
+            self._queue_wait_hist.observe(max(0.0,
+                                              started - submitted_at))
         try:
             pattern = self.database.compile(query)
             optimization = self.optimize_cached(pattern, algorithm,
@@ -84,15 +129,27 @@ class QueryService:
         except BaseException:
             with self._mutex:
                 self._errors += 1
+            self._errors_total.inc()
             raise
         elapsed = time.perf_counter() - started
+        self._queries_total.inc()
+        self._latency_hist.observe(elapsed)
+        slow = elapsed >= self.slow_query_seconds
+        if slow:
+            self._slow_total.inc()
         with self._mutex:
             self._queries += 1
-            self._latencies.append(elapsed)
-            if len(self._latencies) > LATENCY_RESERVOIR:
-                del self._latencies[:len(self._latencies)
-                                    - LATENCY_RESERVOIR]
+            self._latencies.add(elapsed)
             self._engine_totals.merge(execution.metrics)
+            if slow:
+                self._slow_queries.append({
+                    "query": (query if isinstance(query, str)
+                              else repr(query)),
+                    "algorithm": algorithm,
+                    "engine": engine or self.database.engine,
+                    "seconds": elapsed,
+                    "rows": len(execution),
+                })
         return QueryResult(optimization=optimization,
                            execution=execution)
 
@@ -119,20 +176,45 @@ class QueryService:
                 thread_name_prefix="repro-query") as pool:
             futures = [pool.submit(self.query, query,
                                    algorithm=algorithm, engine=engine,
+                                   submitted_at=time.perf_counter(),
                                    **options)
                        for query in queries]
             return [future.result() for future in futures]
 
     def optimize_cached(self, query: "str | QueryPattern",
                         algorithm: str = "DPP", **options: object):
-        """Plan lookup with optimize-on-miss (single-flight)."""
+        """Plan lookup with optimize-on-miss (single-flight).
+
+        Misses record the optimizer's wall time in the
+        ``repro_optimize_seconds`` histogram, labelled by algorithm —
+        hits cost a dict probe and are deliberately not observed.
+        """
         pattern = self.database.compile(query)
         key = cache_key(pattern, algorithm, dict(options),
                         self.database.statistics_epoch)
-        return self.cache.get_or_compute(
-            key, pattern,
-            lambda: self.database.optimize(pattern, algorithm=algorithm,
-                                           **options))
+
+        def compute():
+            result = self.database.optimize(pattern, algorithm=algorithm,
+                                            **options)
+            self._optimize_hist.observe(
+                result.report.optimization_seconds, algorithm=algorithm)
+            return result
+
+        return self.cache.get_or_compute(key, pattern, compute)
+
+    def explain(self, query: "str | QueryPattern",
+                algorithm: str = "DPP", analyze: bool = False,
+                engine: "str | None" = None,
+                **options: object) -> "ExplainReport":
+        """Passthrough to :meth:`Database.explain`.
+
+        EXPLAIN is a diagnostic: it bypasses the plan cache (the
+        report must show this optimization's search work, not a cached
+        plan's) and does not count toward service query totals.
+        """
+        return self.database.explain(query, algorithm=algorithm,
+                                     analyze=analyze, engine=engine,
+                                     **options)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -141,25 +223,33 @@ class QueryService:
         return self.cache.invalidate()
 
     def reset_stats(self) -> None:
-        """Zero the latency reservoir and aggregate counters."""
+        """Zero the latency reservoir, aggregate counters, slow-query
+        log and every registry series."""
         with self._mutex:
             self._latencies.clear()
             self._engine_totals = ExecutionMetrics(
                 factors=self.database.cost_factors)
             self._queries = 0
             self._errors = 0
+            self._slow_queries.clear()
+        self.registry.reset()
 
     # -- observability ----------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:
         """Point-in-time service metrics.
 
-        ``latency`` percentiles are in seconds over the most recent
-        :data:`LATENCY_RESERVOIR` queries; ``engine`` aggregates the
-        per-execution cost-model counters of every query served.
+        ``latency`` percentiles are in seconds over a uniform
+        :data:`LATENCY_RESERVOIR`-sized sample of every query ever
+        served (``observed`` counts the full population); ``engine``
+        aggregates the per-execution cost-model counters of every
+        query served; ``slow_queries`` is the slow-query log, oldest
+        first.
         """
         with self._mutex:
-            samples = list(self._latencies)
+            samples = self._latencies.values()
+            observed = self._latencies.count
+            slow_queries = list(self._slow_queries)
             totals = self._engine_totals
             engine = {
                 "index_items": totals.index_items,
@@ -186,7 +276,9 @@ class QueryService:
                 "mean_seconds": (sum(samples) / len(samples)
                                  if samples else 0.0),
                 "samples": len(samples),
+                "observed": observed,
             },
+            "slow_queries": slow_queries,
             "plan_cache": {
                 "size": len(self.cache),
                 "capacity": self.cache.capacity,
@@ -194,3 +286,53 @@ class QueryService:
             },
             "engine": engine,
         }
+
+    def _collect(self) -> None:
+        """Registry collector: gauges from live pull-style sources.
+
+        Runs before every export, so scrape output always reflects the
+        current plan cache, buffer pool and engine totals without any
+        instrumentation on their hot paths.
+        """
+        registry = self.registry
+        cache_stats = self.cache.stats
+        registry.gauge("repro_plan_cache_size",
+                       "Cached plans").set(len(self.cache))
+        registry.gauge("repro_plan_cache_hits",
+                       "Plan cache hits").set(cache_stats.hits)
+        registry.gauge("repro_plan_cache_misses",
+                       "Plan cache misses").set(cache_stats.misses)
+        registry.gauge("repro_plan_cache_evictions",
+                       "Plan cache evictions").set(cache_stats.evictions)
+        registry.gauge("repro_plan_cache_hit_rate",
+                       "Plan cache hit rate").set(cache_stats.hit_rate)
+        pool = self.database.pool
+        registry.gauge("repro_buffer_pool_hits",
+                       "Buffer pool hits").set(pool.stats.hits)
+        registry.gauge("repro_buffer_pool_misses",
+                       "Buffer pool misses").set(pool.stats.misses)
+        registry.gauge("repro_buffer_pool_hit_rate",
+                       "Buffer pool hit rate").set(pool.stats.hit_rate)
+        registry.gauge("repro_buffer_pool_resident_pages",
+                       "Pages resident in the buffer pool"
+                       ).set(len(pool))
+        engine_gauge = registry.gauge(
+            "repro_engine_counter_total",
+            "Aggregate cost-model counters over all queries served")
+        with self._mutex:
+            for name, value in self._engine_totals.counters().items():
+                engine_gauge.set(value, counter=name)
+            registry.gauge(
+                "repro_engine_simulated_cost_total",
+                "Aggregate simulated cost over all queries served"
+            ).set(self._engine_totals.simulated_cost())
+
+    def export_metrics(self, fmt: str = "prometheus") -> str:
+        """Render the registry: ``"prometheus"`` text or ``"json"``."""
+        if fmt == "prometheus":
+            return self.registry.to_prometheus()
+        if fmt == "json":
+            return json.dumps(self.registry.to_dict(), indent=2,
+                              sort_keys=True)
+        raise ValueError(f"unknown metrics format {fmt!r}; "
+                         f"expected 'prometheus' or 'json'")
