@@ -44,6 +44,7 @@ from repro.estimation.estimator import (CardinalityEstimator,
                                         ExactEstimator,
                                         PositionalEstimator)
 from repro.obs.explain import ExplainReport, build_analysis
+from repro.obs.querylog import QueryLog, build_record
 from repro.obs.spans import Span, Tracer
 from repro.service.service import QueryService
 from repro.storage.buffer import BufferPool
@@ -79,7 +80,9 @@ class Database:
                  buffer_capacity: int = 256,
                  cost_factors: CostFactors | None = None,
                  histogram_grid: int = 16,
-                 engine: str = "block") -> None:
+                 engine: str = "block",
+                 query_log: QueryLog | None = None,
+                 service_options: dict | None = None) -> None:
         #: default execution mode: "block" (columnar, cached posting
         #: decode + skip-ahead joins) or "tuple" (Volcano iterators).
         #: Both produce identical results and cost-model counters.
@@ -105,6 +108,12 @@ class Database:
         #: optimizer plans with) changes; part of every plan-cache key.
         self.statistics_epoch = 0
         self._service: "QueryService | None" = None
+        #: keyword arguments for the lazily built :class:`QueryService`
+        #: (worker count, slow-query threshold/log bound, …).
+        self.service_options = dict(service_options or {})
+        #: optional persistent query log; every :meth:`execute` appends
+        #: one record (see :meth:`attach_query_log`).
+        self.query_log = query_log
         #: bounded ring of query span trees recorded by
         #: :meth:`explain` with ``analyze=True``.
         self.tracer = Tracer()
@@ -274,20 +283,35 @@ class Database:
 
     def execute(self, plan: PhysicalPlan, pattern: QueryPattern,
                 engine: str | None = None,
-                spans: bool = False) -> ExecutionResult:
+                spans: bool = False,
+                algorithm: str = "") -> ExecutionResult:
         """Run a physical plan against the stored document.
 
         *engine* overrides the database default for this run
         (``"block"`` or ``"tuple"``; see :data:`Database.engine`).
         With ``spans=True`` the run records a per-operator span tree
         (returned on :attr:`ExecutionResult.span`).
+
+        When a query log is attached every execution appends one
+        record; the log's trace sampling may force spans on so the
+        record carries per-operator estimate-vs-actual detail.
+        *algorithm* only annotates that record (``Database.query`` and
+        the query service pass it through).
         """
         self._require_document()
+        log = self.query_log
+        trace = spans or (log is not None and log.want_span())
+        engine = engine or self.engine
         context = EngineContext(self.index, self.store, self.document,
                                 factors=self.cost_factors)
-        return Executor(context, pattern,
-                        engine=engine or self.engine).execute(
-                            plan, spans=spans)
+        result = Executor(context, pattern, engine=engine).execute(
+            plan, spans=trace)
+        if log is not None:
+            log.record(build_record(
+                pattern, plan, result, algorithm=algorithm,
+                engine=engine, statistics_epoch=self.statistics_epoch,
+                factors=self.cost_factors))
+        return result
 
     def query(self, query: str | QueryPattern,
               algorithm: str = "DPP", engine: str | None = None,
@@ -297,7 +321,7 @@ class Database:
         optimization = self.optimize(pattern, algorithm=algorithm,
                                      **options)
         execution = self.execute(optimization.plan, pattern,
-                                 engine=engine)
+                                 engine=engine, algorithm=algorithm)
         return QueryResult(optimization=optimization, execution=execution)
 
     def explain(self, query: str | QueryPattern,
@@ -351,13 +375,51 @@ class Database:
         self.tracer.record(query_span)
         return report
 
+    # -- cost-model control ------------------------------------------------
+
+    def set_cost_factors(self, factors: CostFactors) -> None:
+        """Swap the cost-model weight factors at runtime.
+
+        Installs *factors* (typically learned by
+        :mod:`repro.obs.calibrate`) on the shared :class:`CostModel`,
+        so every subsequent optimization prices plans with them, and
+        bumps the statistics epoch: plans cached under the old factors
+        were costed in a different currency and must never be reused,
+        exactly as after a document reload.  The service's aggregate
+        engine counters are re-expressed so merging runs priced with
+        the new factors keeps working.
+        """
+        if factors == self.cost_factors:
+            return
+        self.cost_factors = factors
+        self.cost_model.set_factors(factors)
+        self.statistics_epoch += 1
+        if self._service is not None:
+            self._service.on_cost_factors_changed(factors)
+
+    # -- query logging -----------------------------------------------------
+
+    def attach_query_log(self, log: QueryLog | None) -> None:
+        """Attach (or with ``None`` detach) a persistent query log.
+
+        From the next :meth:`execute` on, every run appends one record
+        (asynchronously in file mode); the log's ``trace_sample``
+        controls how often runs are traced for per-operator detail.
+        """
+        self.query_log = log
+
     # -- serving -----------------------------------------------------------
 
     @property
     def service(self) -> QueryService:
-        """The (lazily created) plan-caching query service."""
+        """The (lazily created) plan-caching query service.
+
+        Construction keywords — worker count, slow-query threshold and
+        slow-log bound, registry — come from
+        :attr:`Database.service_options`.
+        """
         if self._service is None:
-            self._service = QueryService(self)
+            self._service = QueryService(self, **self.service_options)
         return self._service
 
     def query_many(self, queries: Sequence[str | QueryPattern],

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.api import Database
+from repro.core.cost import CostFactors
 from repro.core.optimizer import OptimizationResult
 from repro.core.plans import PhysicalPlan
 from repro.core.random_plans import worst_random_plan
@@ -58,6 +59,11 @@ class ExperimentSetup:
     mbench_nodes: int = 3000
     seed: int = 42
     bad_plan_samples: int = 30
+    #: optional learned factors (see ``repro.obs.calibrate``); None
+    #: keeps the paper's hard-coded constants.  Every experiment then
+    #: prices plans — and reports simulated cost — in the calibrated
+    #: currency.
+    cost_factors: CostFactors | None = None
 
 
 @lru_cache(maxsize=16)
@@ -80,6 +86,9 @@ def dataset_database(dataset: str, setup: ExperimentSetup,
                               setup.seed)
     if folding > 1:
         document = fold_document(document, folding)
+    if setup.cost_factors is not None:
+        return Database.from_document(document,
+                                      cost_factors=setup.cost_factors)
     return Database.from_document(document)
 
 

@@ -5,9 +5,15 @@ Commands:
 * ``query``    — run an XPath query against an XML file or a generated
   data set, with algorithm selection, plan explanation and metrics.
 * ``explain``  — show the plans every algorithm picks for a query.
-* ``stats``    — storage and data statistics of a document.
+* ``stats``    — storage and data statistics of a document; with
+  ``--listen PORT`` keep serving /metrics over HTTP.
 * ``generate`` — write one of the synthetic benchmark documents as XML.
 * ``bench``    — regenerate a paper table or figure.
+* ``log``      — run the paper workload with a persistent JSONL query
+  log attached (or ``--read`` an existing log back).
+* ``calibrate``— fit cost-model factors from a traced query log.
+* ``audit``    — replay a query log through the optimizer and flag
+  plan flips and cardinality-estimate drift (exit 3 on flips).
 
 Examples::
 
@@ -21,6 +27,10 @@ Examples::
     python -m repro stats --dataset pers --serve 5 --format prometheus
     python -m repro generate mbench --nodes 2000 --output mbench.xml
     python -m repro bench table2
+    python -m repro log --dataset mbench --serve 3 \
+        --output query-log.jsonl
+    python -m repro calibrate --log query-log.jsonl --json calib.json
+    python -m repro audit --dataset mbench --log query-log.jsonl
 """
 
 from __future__ import annotations
@@ -56,8 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "(ICDE 2003 reproduction)")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    def add_source(sub: argparse.ArgumentParser) -> None:
-        source = sub.add_mutually_exclusive_group(required=True)
+    def add_source(sub: argparse.ArgumentParser,
+                   required: bool = True) -> None:
+        source = sub.add_mutually_exclusive_group(required=required)
         source.add_argument("--xml", metavar="FILE",
                             help="load an XML document from a file")
         source.add_argument("--dataset",
@@ -66,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--nodes", type=int, default=2000,
                          help="target size for generated data sets")
         sub.add_argument("--seed", type=int, default=42)
+
+    def add_service_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--slow-query-seconds", type=float,
+                         default=None, metavar="SECONDS",
+                         help="slow-query threshold for the service "
+                              "(default 0.25 s)")
+        sub.add_argument("--slow-log-capacity", type=int, default=None,
+                         metavar="N",
+                         help="bound on the retained slow-query log "
+                              "(default 32; 0 disables retention)")
 
     query = commands.add_parser("query", help="run an XPath query")
     add_source(query)
@@ -87,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "plan-caching service")
     query.add_argument("--workers", type=int, default=1,
                        help="thread-pool width for --repeat batches")
+    add_service_flags(query)
 
     explain = commands.add_parser(
         "explain", help="compare the plans all algorithms pick, or "
@@ -126,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first serve the data set's paper workload "
                             "N times through the query service, so "
                             "the metrics are non-trivial")
+    stats.add_argument("--listen", type=int, default=0, metavar="PORT",
+                       help="after --serve, keep serving /metrics in "
+                            "the Prometheus text format over HTTP on "
+                            "127.0.0.1:PORT until Ctrl-C (exit 2 if "
+                            "the port is taken)")
+    add_service_flags(stats)
 
     generate = commands.add_parser(
         "generate", help="write a synthetic data set as XML")
@@ -147,6 +175,71 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the report as JSON "
                             "('engines' only; e.g. BENCH_PR2.json)")
 
+    log_cmd = commands.add_parser(
+        "log", help="run the paper workload with a persistent query "
+                    "log attached, or summarize an existing log")
+    add_source(log_cmd, required=False)
+    add_service_flags(log_cmd)
+    log_cmd.add_argument("--read", metavar="FILE", default=None,
+                         help="summarize an existing query log "
+                              "(including rotated segments) instead "
+                              "of running a workload")
+    log_cmd.add_argument("--serve", type=int, default=3, metavar="N",
+                         help="serve the data set's paper workload N "
+                              "times (default 3)")
+    log_cmd.add_argument("--algorithm", choices=ALGORITHMS,
+                         default="DPP")
+    log_cmd.add_argument("--output", metavar="FILE",
+                         default="query-log.jsonl",
+                         help="query-log path (default "
+                              "query-log.jsonl)")
+    log_cmd.add_argument("--trace-sample", type=int, default=1,
+                         metavar="K",
+                         help="trace every K-th execution for "
+                              "per-operator detail (default 1 = all; "
+                              "0 disables tracing)")
+    log_cmd.add_argument("--max-bytes", type=int, default=4 << 20,
+                         help="rotate the log after this many bytes")
+    log_cmd.add_argument("--backups", type=int, default=3,
+                         help="rotated segments to keep")
+
+    calibrate = commands.add_parser(
+        "calibrate", help="fit cost-model factors from traced query "
+                          "logs (non-negative least squares)")
+    add_source(calibrate, required=False)
+    add_service_flags(calibrate)
+    calibrate.add_argument("--log", metavar="FILE", default=None,
+                           help="calibrate from a previously written "
+                                "query log instead of serving a "
+                                "fresh workload")
+    calibrate.add_argument("--serve", type=int, default=3,
+                           metavar="N",
+                           help="without --log: serve the paper "
+                                "workload N times, fully traced")
+    calibrate.add_argument("--algorithm", choices=ALGORITHMS,
+                           default="DPP")
+    calibrate.add_argument("--holdout-every", type=int, default=5,
+                           metavar="K",
+                           help="hold out every K-th sample for "
+                                "scoring (default 5)")
+    calibrate.add_argument("--json", metavar="FILE", default=None,
+                           help="also write the calibration result "
+                                "as JSON ('-' for stdout)")
+
+    audit = commands.add_parser(
+        "audit", help="replay a query log through the optimizer under "
+                      "current statistics and flag plan flips "
+                      "(exit 3) and Q-error drift")
+    add_source(audit)
+    audit.add_argument("--log", metavar="FILE", required=True,
+                       help="query log to replay")
+    audit.add_argument("--algorithm", choices=ALGORITHMS, default=None,
+                       help="replay with this algorithm instead of "
+                            "each record's own")
+    audit.add_argument("--json", metavar="FILE", default=None,
+                       help="also write the audit report as JSON "
+                            "('-' for stdout)")
+
     trace = commands.add_parser(
         "trace", help="watch DPP optimize (Example 3.6 narrative)")
     add_source(trace)
@@ -158,17 +251,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _service_options(arguments: argparse.Namespace) -> dict:
+    """Query-service options from the optional CLI service flags."""
+    options: dict = {}
+    slow_seconds = getattr(arguments, "slow_query_seconds", None)
+    if slow_seconds is not None:
+        options["slow_query_seconds"] = slow_seconds
+    slow_capacity = getattr(arguments, "slow_log_capacity", None)
+    if slow_capacity is not None:
+        if slow_capacity < 0:
+            raise ReproError("--slow-log-capacity must be >= 0")
+        options["slow_log_capacity"] = slow_capacity
+    return options
+
+
 def _open_database(arguments: argparse.Namespace) -> Database:
+    options = _service_options(arguments)
     if arguments.xml:
         with open(arguments.xml, encoding="utf-8") as handle:
-            return Database.from_xml(handle.read(), name=arguments.xml)
+            return Database.from_xml(handle.read(), name=arguments.xml,
+                                     service_options=options)
+    if not arguments.dataset:
+        raise ReproError(
+            "a data source is required: pass --xml FILE or "
+            "--dataset NAME")
     kwargs = {"seed": arguments.seed}
     if arguments.dataset == "dblp":
         kwargs["entries"] = max(arguments.nodes // 9, 1)
     else:
         kwargs["target_nodes"] = arguments.nodes
     return Database.from_document(
-        dataset_document(arguments.dataset, **kwargs))
+        dataset_document(arguments.dataset, **kwargs),
+        service_options=options)
 
 
 def _write_service_stats(database: Database, out: IO[str]) -> None:
@@ -281,17 +395,74 @@ def _command_explain(arguments: argparse.Namespace, out: IO[str]) -> int:
 
 
 def _serve_paper_workload(database: Database, dataset: str | None,
-                          repeats: int) -> int:
+                          repeats: int,
+                          algorithm: str = "DPP") -> int:
     """Run the data set's Table-1 queries *repeats* times through the
-    plan-caching service; returns how many queries were served."""
-    from repro.workloads.queries import PAPER_QUERIES
+    plan-caching service; returns how many queries were served.
 
-    queries = [query.pattern for query in PAPER_QUERIES.values()
+    Queries are served as XPath strings (not the hand-built patterns)
+    so that what lands in the query log round-trips exactly: the plan
+    auditor recompiles the logged string and must see the same
+    pattern — including the implicit result-order constraint XPath
+    compilation adds — or replays would diff semantically different
+    patterns and report phantom flips.
+    """
+    from repro.workloads.queries import PAPER_QUERIES
+    from repro.xpath.render import pattern_to_xpath
+
+    queries = [pattern_to_xpath(query.pattern)
+               for query in PAPER_QUERIES.values()
                if dataset is None or query.dataset == dataset]
     if not queries:
         return 0
-    database.query_many(queries * repeats)
+    database.query_many(queries * repeats, algorithm=algorithm)
     return len(queries) * repeats
+
+
+def _run_metrics_server(database: Database, port: int,
+                        out: IO[str]) -> int:
+    """Serve the query service's /metrics endpoint until Ctrl-C.
+
+    Binds 127.0.0.1 only (an observability endpoint, not a public
+    API).  A taken port is an operator error, not a crash: report it
+    and exit 2 so scripts can tell it from query failures (exit 1).
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    service = database.service
+
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path.partition("?")[0] not in ("/", "/metrics"):
+                self.send_error(404)
+                return
+            body = service.export_metrics("prometheus").encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args: object) -> None:
+            pass
+
+    try:
+        server = ThreadingHTTPServer(("127.0.0.1", port),
+                                     MetricsHandler)
+    except OSError as exc:
+        print(f"error: cannot listen on 127.0.0.1:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    out.write(f"serving /metrics on http://127.0.0.1:"
+              f"{server.server_address[1]} (Ctrl-C to stop)\n")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        out.write("shutting down\n")
+    finally:
+        server.server_close()
+    return 0
 
 
 def _command_stats(arguments: argparse.Namespace, out: IO[str]) -> int:
@@ -299,6 +470,8 @@ def _command_stats(arguments: argparse.Namespace, out: IO[str]) -> int:
     if arguments.serve:
         _serve_paper_workload(database, arguments.dataset,
                               arguments.serve)
+    if arguments.listen:
+        return _run_metrics_server(database, arguments.listen, out)
     if arguments.format != "table":
         out.write(database.service.export_metrics(arguments.format))
         return 0
@@ -348,6 +521,104 @@ def _command_bench(arguments: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _write_json_payload(payload: object, target: str,
+                        out: IO[str]) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if target == "-":
+        out.write(text)
+    else:
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        out.write(f"wrote {target}\n")
+
+
+def _command_log(arguments: argparse.Namespace, out: IO[str]) -> int:
+    from repro.obs.querylog import QueryLog, read_query_log
+
+    if arguments.read:
+        scan = read_query_log(arguments.read)
+        traced = sum(1 for record in scan.records
+                     if record.get("operators"))
+        algorithms: dict[str, int] = {}
+        for record in scan.records:
+            name = str(record.get("algorithm") or "?")
+            algorithms[name] = algorithms.get(name, 0) + 1
+        out.write(f"{len(scan.records)} records from "
+                  f"{len(scan.files)} file(s), {scan.skipped} "
+                  f"malformed line(s) skipped, {traced} traced\n")
+        for name in sorted(algorithms):
+            out.write(f"  {name:10s} {algorithms[name]}\n")
+        for record in scan.records[-5:]:
+            out.write(f"  {record.get('query', '?')} -> "
+                      f"{record.get('rows', '?')} rows in "
+                      f"{record.get('wall_seconds', 0.0):.4f}s\n")
+        return 0
+    database = _open_database(arguments)
+    if arguments.trace_sample < 0:
+        raise ReproError("--trace-sample must be >= 0")
+    with QueryLog(arguments.output, max_bytes=arguments.max_bytes,
+                  backups=arguments.backups,
+                  trace_sample=arguments.trace_sample) as log:
+        database.attach_query_log(log)
+        served = _serve_paper_workload(database, arguments.dataset,
+                                       arguments.serve,
+                                       algorithm=arguments.algorithm)
+        log.flush()
+        out.write(f"served {served} queries "
+                  f"({arguments.algorithm}); logged {log.written} "
+                  f"records ({log.dropped} dropped) to "
+                  f"{arguments.output}\n")
+    database.attach_query_log(None)
+    return 0
+
+
+def _command_calibrate(arguments: argparse.Namespace,
+                       out: IO[str]) -> int:
+    from repro.obs.calibrate import calibrate_records
+    from repro.obs.querylog import QueryLog, read_query_log
+
+    if arguments.log:
+        scan = read_query_log(arguments.log)
+        records = scan.records
+        if scan.skipped:
+            out.write(f"note: skipped {scan.skipped} malformed "
+                      f"line(s)\n")
+    else:
+        if not (arguments.xml or arguments.dataset):
+            raise ReproError(
+                "calibrate needs --log FILE, or a data source "
+                "(--xml/--dataset) to trace a fresh workload")
+        database = _open_database(arguments)
+        with QueryLog(None, trace_sample=1) as log:
+            database.attach_query_log(log)
+            _serve_paper_workload(database, arguments.dataset,
+                                  arguments.serve,
+                                  algorithm=arguments.algorithm)
+            records = list(log.records())
+        database.attach_query_log(None)
+    result = calibrate_records(records,
+                               holdout_every=arguments.holdout_every)
+    out.write(result.render() + "\n")
+    if arguments.json:
+        _write_json_payload(result.to_dict(), arguments.json, out)
+    return 0
+
+
+def _command_audit(arguments: argparse.Namespace, out: IO[str]) -> int:
+    from repro.obs.audit import audit_records
+    from repro.obs.querylog import read_query_log
+
+    database = _open_database(arguments)
+    scan = read_query_log(arguments.log)
+    report = audit_records(database, scan.records,
+                           algorithm=arguments.algorithm,
+                           registry=database.service.registry)
+    out.write(report.render() + "\n")
+    if arguments.json:
+        _write_json_payload(report.to_dict(), arguments.json, out)
+    return 3 if report.plan_flips else 0
+
+
 def _command_trace(arguments: argparse.Namespace, out: IO[str]) -> int:
     from repro.core.dpp import DPPOptimizer
     from repro.core.trace import SearchTrace
@@ -375,6 +646,9 @@ _COMMANDS = {
     "stats": _command_stats,
     "generate": _command_generate,
     "bench": _command_bench,
+    "log": _command_log,
+    "calibrate": _command_calibrate,
+    "audit": _command_audit,
     "trace": _command_trace,
 }
 
@@ -387,6 +661,9 @@ def main(argv: Sequence[str] | None = None,
     arguments = parser.parse_args(argv)
     try:
         return _COMMANDS[arguments.command](arguments, out)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

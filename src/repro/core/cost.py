@@ -19,8 +19,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.errors import OptimizerError
+
+#: the four factors, in the positional order ``CostFactors`` takes
+#: them — shared by the calibrator, which fits them as a vector.
+COST_FACTOR_NAMES = ("f_index", "f_sort", "f_io", "f_stack")
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,7 +40,10 @@ class CostFactors:
     pipelined crossover (Table 3 / Sec. 4.3) around ``n*log2(n*) =
     2*f_io/f_sort``, i.e. intermediate results of ~64K tuples at the
     defaults — inside the folding range the benchmarks sweep.  Units
-    are arbitrary "cost units".
+    are arbitrary "cost units" out of the box; the calibrator
+    (:mod:`repro.obs.calibrate`) replaces them with measured
+    seconds-per-operation, after which estimated and actual costs are
+    directly comparable.
     """
 
     f_index: float = 1.0
@@ -44,16 +52,51 @@ class CostFactors:
     f_stack: float = 1.0
 
     def __post_init__(self) -> None:
-        for name in ("f_index", "f_sort", "f_io", "f_stack"):
+        for name in COST_FACTOR_NAMES:
             if getattr(self, name) < 0:
                 raise OptimizerError(f"cost factor {name} must be >= 0")
 
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """The factors in :data:`COST_FACTOR_NAMES` order."""
+        return (self.f_index, self.f_sort, self.f_io, self.f_stack)
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-able mapping (query-log records, calibration output)."""
+        return {name: getattr(self, name) for name in COST_FACTOR_NAMES}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, float]) -> "CostFactors":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        unknown = set(payload) - set(COST_FACTOR_NAMES)
+        if unknown:
+            raise OptimizerError(
+                f"unknown cost factor(s) {sorted(unknown)}; "
+                f"expected {COST_FACTOR_NAMES}")
+        return cls(**{name: float(value)
+                      for name, value in payload.items()})
+
 
 class CostModel:
-    """Evaluates the Sec. 2.2.2 cost formulae for given cardinalities."""
+    """Evaluates the Sec. 2.2.2 cost formulae for given cardinalities.
+
+    The factors are **swappable at runtime** via :meth:`set_factors`:
+    a database that applies calibrated factors mid-flight re-prices
+    every subsequent optimization without rebuilding its optimizers.
+    Callers that cache plans priced with the old factors must
+    invalidate them (``Database.set_cost_factors`` bumps the
+    statistics epoch for exactly that reason).
+    """
 
     def __init__(self, factors: CostFactors | None = None) -> None:
         self.factors = factors or CostFactors()
+
+    def set_factors(self, factors: CostFactors) -> None:
+        """Swap the weight factors for all subsequent cost evaluations."""
+        if not isinstance(factors, CostFactors):
+            raise OptimizerError(
+                f"set_factors expects CostFactors, got "
+                f"{type(factors).__name__}")
+        self.factors = factors
 
     def index_access(self, items: int) -> float:
         """Cost of retrieving *items* postings from the tag index."""

@@ -68,6 +68,18 @@ class ExecutionMetrics:
         """The cost-model counters as a dict (parity checks, exports)."""
         return {name: getattr(self, name) for name in COST_COUNTERS}
 
+    def reprice(self, factors: CostFactors) -> None:
+        """Re-express these metrics under new cost factors.
+
+        The counters are factor-independent measurements; only
+        :meth:`simulated_cost` depends on the factors.  Aggregators
+        (e.g. the query service's engine totals) call this when the
+        database's factors are swapped at runtime so later
+        :meth:`merge` calls — whose runs carry the new factors — keep
+        working instead of raising a currency mismatch.
+        """
+        self.factors = factors
+
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate counters from another run (for aggregate reports).
 

@@ -1,6 +1,6 @@
-"""Observability: spans, EXPLAIN ANALYZE, and a metrics registry.
+"""Observability: spans, EXPLAIN ANALYZE, metrics, and the feedback loop.
 
-Three pieces, threaded through every layer of the system:
+Six pieces, threaded through every layer of the system:
 
 * :mod:`repro.obs.spans` — per-query span trees (pipeline stages plus
   one span per plan operator in both engines), with exact
@@ -8,9 +8,20 @@ Three pieces, threaded through every layer of the system:
 * :mod:`repro.obs.explain` — estimate-vs-actual plan feedback with
   per-operator Q-errors (``Database.explain(query, analyze=True)``);
 * :mod:`repro.obs.registry` — named counters/gauges/histograms with
-  Prometheus-text and JSON exporters, plus the uniform
+  Prometheus-text and JSON exporters, interpolated histogram
+  quantiles, plus the uniform
   :class:`~repro.obs.registry.SampleReservoir` backing the query
-  service's latency percentiles.
+  service's latency percentiles;
+* :mod:`repro.obs.querylog` — a durable, size-bounded JSONL log of
+  executed queries, written asynchronously, with rotation and a
+  corruption-tolerant reader;
+* :mod:`repro.obs.calibrate` — fits
+  :class:`~repro.core.cost.CostFactors` from logged traced runs by
+  non-negative least squares, with residuals, per-factor confidence
+  and holdout scoring;
+* :mod:`repro.obs.audit` — replays logged patterns through the
+  optimizer under current statistics/factors and flags plan flips and
+  Q-error drift (human report + scrapeable gauges).
 
 All engine-level instrumentation is zero-cost when disabled: a single
 ``is None`` check per operator per execution, never per tuple.
@@ -22,6 +33,13 @@ from repro.obs.registry import (Counter, Gauge, Histogram,
                                 MetricsRegistry, SampleReservoir,
                                 get_global_registry)
 from repro.obs.spans import Span, Tracer
+from repro.obs.querylog import (QueryLog, QueryLogScan, build_record,
+                                read_query_log, signature_digest)
+from repro.obs.calibrate import (CalibrationResult, FactorFit,
+                                 TraceSample, calibrate_records,
+                                 cost_q_error, evaluate_factors,
+                                 fit_cost_factors, samples_from_records)
+from repro.obs.audit import AuditReport, QueryAudit, audit_records
 
 __all__ = [
     "ExplainReport",
@@ -36,4 +54,20 @@ __all__ = [
     "get_global_registry",
     "Span",
     "Tracer",
+    "QueryLog",
+    "QueryLogScan",
+    "build_record",
+    "read_query_log",
+    "signature_digest",
+    "CalibrationResult",
+    "FactorFit",
+    "TraceSample",
+    "calibrate_records",
+    "cost_q_error",
+    "evaluate_factors",
+    "fit_cost_factors",
+    "samples_from_records",
+    "AuditReport",
+    "QueryAudit",
+    "audit_records",
 ]

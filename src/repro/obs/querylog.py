@@ -1,0 +1,378 @@
+"""Persistent query log: one JSONL record per executed query.
+
+PR 3's spans and EXPLAIN ANALYZE die with the process; the query log
+makes them durable.  Every execution that runs through a
+:class:`~repro.api.Database` with a log attached appends one
+structured record — pattern signature, algorithm, engine, plan
+digest, run-level counters, wall time and statistics epoch, plus
+per-operator estimated-vs-actual cardinalities and exact cost-counter
+shares whenever the run was traced.  Those records are the raw
+material for the two consumers that close the feedback loop:
+
+* :mod:`repro.obs.calibrate` fits :class:`~repro.core.cost.CostFactors`
+  from the traced counter/wall-time pairs;
+* :mod:`repro.obs.audit` replays logged patterns through the optimizer
+  and flags plan flips and Q-error drift.
+
+Design points:
+
+* **Asynchronous writes** — :meth:`QueryLog.record` enqueues; a daemon
+  writer thread serialises and appends, so logging never sits on the
+  query hot path.  A full queue drops the record and counts the drop
+  instead of blocking a query.
+* **Size-bounded** — the active file rotates to ``<path>.1`` …
+  ``<path>.<backups>`` once it exceeds ``max_bytes``; the oldest
+  rotation is deleted, so total disk use is bounded by
+  ``(backups + 1) * max_bytes`` (plus one record of slack).
+* **Trace sampling** — ``trace_sample=n`` traces every n-th execution
+  (per-operator detail); ``trace_sample=0`` never forces tracing.
+* **In-memory mode** — ``path=None`` keeps records in a bounded deque:
+  no files, no writer thread.  Used by the CLI's self-contained
+  ``calibrate``/``audit`` modes and by tests.
+
+The reader (:func:`read_query_log`) tolerates torn or corrupt lines —
+malformed lines are skipped and counted, never fatal — because a
+rotation or a crash mid-append must not poison later analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from hashlib import sha1
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cost import CostFactors
+    from repro.core.pattern import QueryPattern
+    from repro.core.plans import PhysicalPlan
+    from repro.engine.executor import ExecutionResult
+
+__all__ = ["QueryLog", "QueryLogScan", "build_record", "read_query_log",
+           "signature_digest"]
+
+#: sentinel shutting the writer thread down.
+_STOP = object()
+
+
+def signature_digest(pattern: "QueryPattern") -> str:
+    """Short stable digest of a pattern's canonical signature.
+
+    Two patterns share a digest iff they are isomorphic (same tags,
+    predicates, axes, shape and order-by target) — the same identity
+    the plan cache keys on — so the log can group repeats of one
+    logical query across sessions and node renumberings.
+    """
+    from repro.service.cache import canonical_signature
+
+    return sha1(repr(canonical_signature(pattern))
+                .encode("utf-8")).hexdigest()[:16]
+
+
+def build_record(pattern: "QueryPattern", plan: "PhysicalPlan",
+                 execution: "ExecutionResult", *,
+                 algorithm: str = "", engine: str = "",
+                 statistics_epoch: int = 0,
+                 factors: "CostFactors | None" = None,
+                 query: str | None = None,
+                 timestamp: float | None = None) -> dict[str, object]:
+    """One JSON-able log record for a finished execution.
+
+    When the execution was traced (``execution.span`` is set) the
+    record carries an ``operators`` list — the plan's operator tree
+    flattened pre-order, each entry with the optimizer's estimates,
+    the measured rows/seconds, and the operator's exact share of every
+    cost-model counter (the calibration inputs).
+    """
+    from repro.obs.explain import build_analysis
+    from repro.service.cache import canonical_plan_digest
+    from repro.xpath.render import pattern_to_xpath
+
+    metrics = execution.metrics
+    record: dict[str, object] = {
+        "ts": time.time() if timestamp is None else timestamp,
+        "query": pattern_to_xpath(pattern) if query is None else query,
+        "signature": signature_digest(pattern),
+        "algorithm": algorithm,
+        "engine": engine,
+        "plan": plan.signature(),
+        "plan_digest": canonical_plan_digest(plan, pattern),
+        "estimated_cost": plan.estimated_cost,
+        "actual_cost": metrics.simulated_cost(),
+        "wall_seconds": metrics.wall_seconds,
+        "rows": len(execution),
+        "statistics_epoch": statistics_epoch,
+        "factors": factors.to_dict() if factors is not None else None,
+        "counters": metrics.counters(),
+    }
+    if execution.span is not None:
+        analysis = build_analysis(plan, execution.span, pattern)
+        record["operators"] = [{
+            "operator": node.label,
+            "estimated_rows": node.estimated_rows,
+            "actual_rows": node.actual_rows,
+            "estimated_cost": node.estimated_cost,
+            "actual_cost": node.actual_cost,
+            "seconds": node.seconds,
+            "self_seconds": node.self_seconds,
+            "simulated_cost": node.simulated_cost,
+            "counters": dict(node.counters),
+        } for node in analysis.walk()]
+    return record
+
+
+class QueryLog:
+    """Durable, size-bounded JSONL log of executed queries.
+
+    ``path=None`` switches to in-memory mode (bounded deque, no
+    files).  File mode appends from a daemon writer thread; call
+    :meth:`flush` before reading the file back, :meth:`close` when
+    done (both idempotent, and ``QueryLog`` works as a context
+    manager).
+    """
+
+    def __init__(self, path: "str | os.PathLike[str] | None" = None, *,
+                 max_bytes: int = 4 << 20, backups: int = 3,
+                 trace_sample: int = 1, memory_capacity: int = 4096,
+                 queue_capacity: int = 4096) -> None:
+        if max_bytes < 1:
+            raise ReproError("query log max_bytes must be at least 1")
+        if backups < 1:
+            raise ReproError("query log backups must be at least 1")
+        if trace_sample < 0:
+            raise ReproError("query log trace_sample must be >= 0")
+        self.path = os.fspath(path) if path is not None else None
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.trace_sample = trace_sample
+        self._mutex = threading.Lock()
+        self._executions = 0
+        self._recorded = 0
+        self._dropped = 0
+        self._written = 0
+        self._closed = False
+        self._memory: "deque[dict[str, object]] | None" = None
+        self._queue: "queue.Queue[object] | None" = None
+        self._writer: threading.Thread | None = None
+        self._handle = None
+        if self.path is None:
+            self._memory = deque(maxlen=memory_capacity)
+        else:
+            self._queue = queue.Queue(maxsize=queue_capacity)
+            self._writer = threading.Thread(
+                target=self._drain, name="repro-querylog", daemon=True)
+            self._writer.start()
+
+    # -- recording -------------------------------------------------------
+
+    def want_span(self) -> bool:
+        """Should the next execution be traced for this log?
+
+        Counts executions and returns True every ``trace_sample``-th
+        one (always with the default ``trace_sample=1``, never with
+        ``0``).
+        """
+        if self.trace_sample == 0:
+            return False
+        with self._mutex:
+            self._executions += 1
+            return self._executions % self.trace_sample == 0
+
+    def record(self, record: dict[str, object]) -> None:
+        """Append *record* (non-blocking; drops and counts on a full
+        queue rather than stalling the query that produced it)."""
+        with self._mutex:
+            if self._closed:
+                return
+            self._recorded += 1
+            if self._memory is not None:
+                self._memory.append(record)
+                return
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait(record)
+        except queue.Full:
+            with self._mutex:
+                self._dropped += 1
+
+    # -- writer thread ---------------------------------------------------
+
+    def _drain(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                try:
+                    self._append(item)  # type: ignore[arg-type]
+                except OSError:
+                    with self._mutex:
+                        self._dropped += 1
+            finally:
+                self._queue.task_done()
+
+    def _append(self, record: dict[str, object]) -> None:
+        assert self.path is not None
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        with self._mutex:
+            self._written += 1
+        if self._handle.tell() >= self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """``path`` -> ``path.1`` -> … -> ``path.backups`` (dropped)."""
+        assert self.path is not None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        oldest = f"{self.path}.{self.backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.backups - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        if os.path.exists(self.path):
+            os.replace(self.path, f"{self.path}.1")
+
+    # -- lifecycle -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Block until every record handed in so far is on disk."""
+        if self._queue is not None:
+            self._queue.join()
+
+    def close(self) -> None:
+        """Flush, stop the writer thread and close the file."""
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+        if self._queue is not None:
+            self._queue.join()
+            self._queue.put(_STOP)
+            assert self._writer is not None
+            self._writer.join(timeout=5.0)
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "QueryLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading ---------------------------------------------------------
+
+    def records(self) -> list[dict[str, object]]:
+        """Every retained record, oldest first.
+
+        In-memory mode snapshots the deque; file mode flushes pending
+        writes and reads the files back (rotations included).
+        """
+        if self._memory is not None:
+            with self._mutex:
+                return list(self._memory)
+        self.flush()
+        assert self.path is not None
+        return read_query_log(self.path).records
+
+    # -- counters --------------------------------------------------------
+
+    @property
+    def recorded(self) -> int:
+        """Records ever handed to :meth:`record`."""
+        with self._mutex:
+            return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to a full queue or a write error."""
+        with self._mutex:
+            return self._dropped
+
+    @property
+    def written(self) -> int:
+        """Records the writer thread has persisted (file mode)."""
+        with self._mutex:
+            return self._written
+
+
+@dataclass
+class QueryLogScan:
+    """Result of reading a query log from disk.
+
+    ``skipped`` counts malformed lines (torn writes, corruption) that
+    were dropped; ``files`` lists the files read, oldest first.
+    """
+
+    records: list[dict[str, object]] = field(default_factory=list)
+    skipped: int = 0
+    files: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def read_query_log(path: "str | os.PathLike[str]",
+                   include_rotated: bool = True,
+                   backups: int = 16) -> QueryLogScan:
+    """Read a JSONL query log back, oldest record first.
+
+    Rotated generations (``path.N`` … ``path.1``) are read before the
+    active file so the stream is chronological.  Lines that are not
+    valid JSON objects are skipped and counted on
+    :attr:`QueryLogScan.skipped` — a crash mid-append must not make
+    the whole log unreadable.
+    """
+    path = os.fspath(path)
+    candidates: list[str] = []
+    if include_rotated:
+        candidates.extend(f"{path}.{index}"
+                          for index in range(backups, 0, -1))
+    candidates.append(path)
+    scan = QueryLogScan()
+    for name in candidates:
+        if not os.path.exists(name):
+            continue
+        scan.files.append(name)
+        with open(name, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    scan.skipped += 1
+                    continue
+                if not isinstance(record, dict):
+                    scan.skipped += 1
+                    continue
+                scan.records.append(record)
+    return scan
+
+
+def iter_operator_entries(
+        records: Iterable[dict[str, object]]
+) -> Iterable[dict[str, object]]:
+    """Every per-operator entry across *records* (traced runs only)."""
+    for record in records:
+        operators = record.get("operators")
+        if not isinstance(operators, list):
+            continue
+        for entry in operators:
+            if isinstance(entry, dict):
+                yield entry

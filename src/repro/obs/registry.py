@@ -184,6 +184,42 @@ class Histogram(_Metric):
             series = self._series.get(_label_key(labels))
             return series.total if series is not None else 0.0
 
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimate the *q*-quantile from the bucket counts.
+
+        Same estimator as PromQL's ``histogram_quantile``: find the
+        bucket the target rank falls into and interpolate linearly
+        inside it (the first bucket's lower edge is 0 — these are
+        latency-flavoured histograms).  Observations beyond the last
+        finite bucket cannot be located, so ranks landing in the
+        ``+Inf`` bucket report the highest finite bound.  This makes
+        CLI percentiles computable from scraped data alone; accuracy
+        is bounded by bucket resolution, unlike the exact in-process
+        :class:`SampleReservoir`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return 0.0
+            counts = list(series.bucket_counts)
+            total = series.count
+        rank = max(q * total, 1.0)
+        lower = 0.0
+        previous_cumulative = 0
+        for bound, cumulative in zip(self.buckets, counts):
+            if cumulative >= rank:
+                width = cumulative - previous_cumulative
+                if width <= 0:
+                    return bound
+                fraction = (rank - previous_cumulative) / width
+                return lower + (bound - lower) * fraction
+            if cumulative > previous_cumulative:
+                previous_cumulative = cumulative
+            lower = bound
+        return self.buckets[-1]
+
     def _lines(self) -> list[str]:
         lines: list[str] = []
         for key, series in sorted(self._series.items()):

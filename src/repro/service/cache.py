@@ -115,6 +115,42 @@ def remap_plan(plan: PhysicalPlan,
     raise PlanError(f"unknown plan node type {type(plan).__name__}")
 
 
+def canonical_plan_digest(plan: PhysicalPlan,
+                          pattern: QueryPattern) -> str:
+    """Render *plan* with node ids replaced by canonical node ranks.
+
+    XPath compilation numbers pattern nodes by traversal order, so the
+    same logical plan over two isomorphic patterns prints different
+    ``signature()`` strings.  Here every node id is replaced by the
+    rank of its canonical subtree signature (interchangeable nodes —
+    identical signatures — share a rank, which is exactly the freedom
+    :func:`pattern_isomorphism` has), making the digest stable across
+    renumbering.  The query log stores this digest so the plan auditor
+    can replay a recompiled query and compare plans without false
+    flips.
+    """
+    signatures = _node_signatures(pattern)
+    ranks = {key: rank for rank, key in enumerate(
+        sorted({repr(sig) for sig in signatures.values()}))}
+    labels = {node_id: ranks[repr(signatures[node_id])]
+              for node_id in signatures}
+
+    def render(node: PhysicalPlan) -> str:
+        if isinstance(node, IndexScanPlan):
+            return f"scan({labels[node.node_id]})"
+        if isinstance(node, SortPlan):
+            return f"sort[{labels[node.by_node]}]({render(node.child)})"
+        if isinstance(node, StructuralJoinPlan):
+            return (f"{node.algorithm.value}"
+                    f"[{labels[node.ancestor_node]}{node.axis}"
+                    f"{labels[node.descendant_node]}]"
+                    f"({render(node.ancestor_plan)},"
+                    f"{render(node.descendant_plan)})")
+        raise PlanError(f"unknown plan node type {type(node).__name__}")
+
+    return render(plan)
+
+
 def cache_key(pattern: QueryPattern, algorithm: str,
               options: dict[str, object], epoch: int) -> tuple:
     """The full cache key for one optimization request."""

@@ -38,10 +38,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: :class:`~repro.obs.registry.SampleReservoir`.
 LATENCY_RESERVOIR = 8192
 
-#: Queries slower than this (seconds) land in the slow-query log.
+#: Default slow-query threshold (seconds); queries at or above it land
+#: in the slow-query log.  Override per service with the
+#: ``slow_query_seconds`` constructor argument or the CLI's
+#: ``--slow-query-seconds``.
 SLOW_QUERY_SECONDS = 0.25
 
-#: Entries retained in the slow-query log (newest win).
+#: Default bound on the slow-query log (newest entries win).  Override
+#: per service with the ``slow_log_capacity`` constructor argument or
+#: the CLI's ``--slow-log-capacity``; ``0`` disables retention.
 SLOW_LOG_CAPACITY = 32
 
 
@@ -65,10 +70,13 @@ class QueryService:
                  slow_log_capacity: int = SLOW_LOG_CAPACITY) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if slow_log_capacity < 0:
+            raise ValueError("slow_log_capacity must be >= 0")
         self.database = database
         self.cache = PlanCache(capacity=cache_capacity)
         self.default_workers = workers
         self.slow_query_seconds = slow_query_seconds
+        self.slow_log_capacity = slow_log_capacity
         self._mutex = threading.Lock()
         self._latencies = SampleReservoir(LATENCY_RESERVOIR, seed=0)
         self._engine_totals = ExecutionMetrics(
@@ -125,7 +133,8 @@ class QueryService:
             optimization = self.optimize_cached(pattern, algorithm,
                                                 **options)
             execution = self.database.execute(optimization.plan, pattern,
-                                              engine=engine)
+                                              engine=engine,
+                                              algorithm=algorithm)
         except BaseException:
             with self._mutex:
                 self._errors += 1
@@ -221,6 +230,21 @@ class QueryService:
     def invalidate(self) -> int:
         """Drop cached plans (called on document reload)."""
         return self.cache.invalidate()
+
+    def on_cost_factors_changed(self, factors) -> None:
+        """React to a runtime cost-factor swap on the database.
+
+        Cached plans were costed in the old currency — drop them (the
+        epoch bump in ``Database.set_cost_factors`` already makes
+        their keys unreachable; invalidating frees the memory now).
+        The aggregate engine counters are factor-independent
+        measurements, so they are re-expressed under the new factors
+        rather than reset — merges of future runs would otherwise
+        raise a currency mismatch.
+        """
+        self.cache.invalidate()
+        with self._mutex:
+            self._engine_totals.reprice(factors)
 
     def reset_stats(self) -> None:
         """Zero the latency reservoir, aggregate counters, slow-query

@@ -121,3 +121,172 @@ class TestTraceCommand:
                                "300", "--dot", "//manager/employee")
         assert code == 0
         assert output.startswith("digraph")
+
+
+class TestFeedbackLoopCommands:
+    def test_log_calibrate_audit_loop(self, tmp_path):
+        log_path = tmp_path / "query-log.jsonl"
+        code, output = run_cli(
+            "log", "--dataset", "pers", "--nodes", "400",
+            "--serve", "2", "--output", str(log_path))
+        assert code == 0
+        assert "logged 8 records" in output
+        assert log_path.exists()
+
+        code, output = run_cli("log", "--read", str(log_path))
+        assert code == 0
+        assert "8 records" in output
+        assert "0 malformed" in output
+
+        json_path = tmp_path / "calibration.json"
+        code, output = run_cli(
+            "calibrate", "--log", str(log_path),
+            "--json", str(json_path))
+        assert code == 0
+        assert "calibrated cost factors" in output
+        assert "improved" in output
+        assert json_path.exists()
+
+        code, output = run_cli(
+            "audit", "--dataset", "pers", "--nodes", "400",
+            "--log", str(log_path))
+        assert code == 0
+        assert "0 plan flip(s)" in output
+
+    def test_audit_flags_flip_with_exit_3(self, tmp_path):
+        log_path = tmp_path / "query-log.jsonl"
+        run_cli("log", "--dataset", "pers", "--nodes", "400",
+                "--serve", "1", "--output", str(log_path))
+        # a different document size changes the statistics the
+        # optimizer sees, which is exactly the drift audit exists for;
+        # assert only on the exit-code contract (0 or 3, never crash)
+        code, output = run_cli(
+            "audit", "--dataset", "pers", "--nodes", "2000",
+            "--log", str(log_path))
+        assert code in (0, 3)
+        assert "plan audit:" in output
+
+    def test_audit_exit_3_on_tampered_log(self, tmp_path):
+        import json as jsonlib
+        log_path = tmp_path / "query-log.jsonl"
+        run_cli("log", "--dataset", "pers", "--nodes", "400",
+                "--serve", "1", "--output", str(log_path))
+        records = [jsonlib.loads(line) for line in
+                   log_path.read_text().splitlines()]
+        records[0]["plan_digest"] = "tampered"
+        log_path.write_text("".join(jsonlib.dumps(r) + "\n"
+                                    for r in records))
+        code, output = run_cli(
+            "audit", "--dataset", "pers", "--nodes", "400",
+            "--log", str(log_path))
+        assert code == 3
+        assert "FLIP" in output
+
+    def test_calibrate_self_contained(self):
+        code, output = run_cli(
+            "calibrate", "--dataset", "pers", "--nodes", "400",
+            "--serve", "2")
+        assert code == 0
+        assert "calibrated cost factors" in output
+
+    def test_calibrate_without_source_or_log_is_clean_error(
+            self, capsys):
+        code, __ = run_cli("calibrate")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_log_without_source_or_read_is_clean_error(self, capsys):
+        code, __ = run_cli("log")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServiceFlags:
+    def test_slow_log_flags_reach_the_service(self):
+        from repro.cli import _open_database, build_parser
+
+        arguments = build_parser().parse_args(
+            ["stats", "--dataset", "pers", "--nodes", "400",
+             "--slow-query-seconds", "0.0", "--slow-log-capacity", "2"])
+        database = _open_database(arguments)
+        service = database.service
+        assert service.slow_query_seconds == 0.0
+        assert service.slow_log_capacity == 2
+        database.query_many(["//manager/name"] * 5)
+        # threshold 0 marks everything slow; capacity bounds retention
+        assert len(service.snapshot()["slow_queries"]) == 2
+
+    def test_negative_slow_log_capacity_is_clean_error(self, capsys):
+        code, __ = run_cli(
+            "stats", "--dataset", "pers", "--nodes", "400",
+            "--slow-log-capacity", "-1")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsListener:
+    def test_listen_port_in_use_exits_2(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            code, __ = run_cli(
+                "stats", "--dataset", "pers", "--nodes", "400",
+                "--listen", str(port))
+        finally:
+            blocker.close()
+        assert code == 2
+        assert "cannot listen" in capsys.readouterr().err
+
+    def test_listen_serves_metrics_and_shuts_down_cleanly(self):
+        import io as iolib
+        import threading
+        import urllib.error
+        import urllib.request
+        from http.server import ThreadingHTTPServer
+
+        from repro.cli import _open_database, _run_metrics_server, \
+            build_parser
+
+        arguments = build_parser().parse_args(
+            ["stats", "--dataset", "pers", "--nodes", "400"])
+        database = _open_database(arguments)
+        database.query_many(["//manager/name"])
+
+        # intercept serve_forever to capture the bound server so the
+        # test can stop it the same way Ctrl-C would
+        ready = threading.Event()
+        captured = {}
+        original = ThreadingHTTPServer.serve_forever
+
+        def capturing(self, poll_interval=0.5):
+            captured["server"] = self
+            ready.set()
+            original(self, poll_interval=poll_interval)
+
+        out = iolib.StringIO()
+        ThreadingHTTPServer.serve_forever = capturing
+        try:
+            worker = threading.Thread(
+                target=_run_metrics_server,
+                args=(database, 0, out), daemon=True)
+            worker.start()
+            assert ready.wait(timeout=5.0)
+            port = captured["server"].server_address[1]
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics",
+                    timeout=5.0) as response:
+                body = response.read().decode()
+            assert "repro_queries_total" in body
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/nope", timeout=5.0)
+        finally:
+            ThreadingHTTPServer.serve_forever = original
+            if "server" in captured:
+                captured["server"].shutdown()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        assert "serving /metrics" in out.getvalue()
