@@ -25,9 +25,11 @@ Example::
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.errors import ReproError
 from repro.core.cost import CostFactors, CostModel
@@ -52,6 +54,28 @@ from repro.storage.disk import DiskManager, InMemoryDisk
 from repro.storage.store import ElementStore
 from repro.storage.tagindex import TagIndex
 from repro.xpath.parser import compile_xpath
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.txn.mutate import Transaction, TransactionManager
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A consistent read view captured under the publish lock.
+
+    Commits publish a fresh store/index/document/estimator quadruple
+    atomically (:mod:`repro.txn.mutate`); a snapshot pins one such
+    quadruple, so a query planned and executed against it never sees a
+    half-published database.  The objects themselves are never mutated
+    after publication (copy-on-write), so holding a snapshot costs
+    nothing and blocks nobody.
+    """
+
+    document: XmlDocument
+    index: TagIndex
+    store: ElementStore
+    estimator: PositionalEstimator
+    statistics_epoch: int
 
 
 @dataclass
@@ -117,6 +141,11 @@ class Database:
         #: bounded ring of query span trees recorded by
         #: :meth:`explain` with ``analyze=True``.
         self.tracer = Tracer()
+        #: guards the atomic swap of store/index/document/estimator at
+        #: commit publication; readers take it only for the instant of
+        #: :meth:`read_snapshot`.
+        self._publish_lock = threading.RLock()
+        self._txn_manager: "TransactionManager | None" = None
 
     # -- construction ----------------------------------------------------------
 
@@ -171,6 +200,8 @@ class Database:
         self._estimator = None
         self._exact_estimator = None
         self.load(document)
+        if self._txn_manager is not None:
+            self._txn_manager.reset_statistics()
 
     def _require_document(self) -> XmlDocument:
         if self.document is None:
@@ -182,10 +213,21 @@ class Database:
     def persist(self) -> None:
         """Flush all pages and write the catalog, making the disk
         self-describing: :meth:`Database.open` can rebuild this
-        database from the disk alone."""
+        database from the disk alone.
+
+        Ends with a durability barrier: every dirty page is written
+        back and the disk is fsync'd, so a crash immediately after
+        ``persist()`` returns loses nothing.
+        """
         from repro.storage.catalog import write_catalog
 
         self._require_document()
+        write_catalog(self.pool, self.catalog_payload())
+        self.pool.flush()
+        self.disk.sync()
+
+    def catalog_payload(self) -> dict:
+        """The directory state the catalog (and the WAL) persists."""
         payload = {
             "name": self.name,
             "store_pages": self.store.page_ids,
@@ -193,27 +235,37 @@ class Database:
             "index_counts": self.index.counts(),
             "node_count": self.store.node_count,
         }
-        write_catalog(self.pool, payload)
+        deleted = self.store.deleted_rids()
+        if deleted:
+            payload["deleted_rids"] = deleted
+        return payload
 
     @classmethod
-    def open(cls, disk: DiskManager, **kwargs: object) -> "Database":
+    def open(cls, disk: DiskManager, catalog: dict | None = None,
+             **kwargs: object) -> "Database":
         """Reopen a persisted database from its pages.
 
         The catalog on page 0 locates the element-store chain and the
         tag-index chains; the node table and statistics are rebuilt
-        with one scan — no XML source required.
+        with one scan — no XML source required.  Crash recovery passes
+        an explicit *catalog* payload (recovered from the write-ahead
+        log) that supersedes the — possibly stale — page-0 copy.
         """
         from repro.storage.catalog import read_catalog
 
         database = cls(disk=disk, **kwargs)  # type: ignore[arg-type]
-        payload = read_catalog(database.pool)
+        payload = catalog if catalog is not None \
+            else read_catalog(database.pool)
         database.name = payload["name"]
         database.store = ElementStore.attach(
-            database.pool, payload["store_pages"])
+            database.pool, payload["store_pages"],
+            deleted=payload.get("deleted_rids", ()))
         database.index = TagIndex.attach(
             database.pool,
             payload["index_chains"], payload["index_counts"])
-        nodes = list(database.store.scan())
+        # insertion order is document order only until the first
+        # subtree mutation; sort by start to restore it
+        nodes = sorted(database.store.scan(), key=lambda node: node.start)
         if len(nodes) != payload["node_count"]:
             raise ReproError(
                 f"catalog expected {payload['node_count']} nodes, "
@@ -222,6 +274,65 @@ class Database:
         database._estimator = PositionalEstimator.from_document(
             database.document, grid=database.histogram_grid)
         return database
+
+    # -- snapshot isolation ---------------------------------------------------
+
+    def read_snapshot(self) -> Snapshot:
+        """Pin a consistent view of the database for one query.
+
+        Taken under the publish lock, so it can never observe a commit
+        half-way through its swap; because published objects are
+        immutable (commits are copy-on-write), the snapshot stays
+        valid for as long as the caller keeps it.
+        """
+        with self._publish_lock:
+            self._require_document()
+            assert self.document is not None
+            assert self._estimator is not None
+            return Snapshot(self.document, self.index, self.store,
+                            self._estimator, self.statistics_epoch)
+
+    # -- transactions ---------------------------------------------------------
+
+    @property
+    def transactions(self) -> "TransactionManager":
+        """The (lazily created) transaction manager.
+
+        Databases opened with :func:`repro.txn.db.open_database` get a
+        manager whose write-ahead log lives next to the pages file;
+        this default one logs to memory — mutations are atomic and
+        snapshot-isolated, durable only until process exit.
+        """
+        if self._txn_manager is None:
+            from repro.txn.mutate import TransactionManager
+
+            self._require_document()
+            self._txn_manager = TransactionManager(self)
+        return self._txn_manager
+
+    @contextmanager
+    def transaction(self) -> "Iterator[Transaction]":
+        """Run a transaction: commits on clean exit, aborts on error.
+
+        ::
+
+            with db.transaction() as txn:
+                txn.append_document(parse_xml(more))
+        """
+        txn = self.transactions.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.status == "open":
+                self.transactions.abort(txn)
+            raise
+        if txn.status == "open":
+            txn.commit()
+
+    def checkpoint(self) -> int:
+        """Make all committed work durable in the pages file and reset
+        the write-ahead log; returns the log bytes dropped."""
+        return self.transactions.checkpoint()
 
     # -- statistics ----------------------------------------------------------
 
@@ -298,18 +409,20 @@ class Database:
         *algorithm* only annotates that record (``Database.query`` and
         the query service pass it through).
         """
-        self._require_document()
+        snapshot = self.read_snapshot()
         log = self.query_log
         trace = spans or (log is not None and log.want_span())
         engine = engine or self.engine
-        context = EngineContext(self.index, self.store, self.document,
+        context = EngineContext(snapshot.index, snapshot.store,
+                                snapshot.document,
                                 factors=self.cost_factors)
         result = Executor(context, pattern, engine=engine).execute(
             plan, spans=trace)
         if log is not None:
             log.record(build_record(
                 pattern, plan, result, algorithm=algorithm,
-                engine=engine, statistics_epoch=self.statistics_epoch,
+                engine=engine,
+                statistics_epoch=snapshot.statistics_epoch,
                 factors=self.cost_factors))
         return result
 
@@ -458,6 +571,10 @@ class Database:
         }
         if self.document is not None:
             snapshot["storage"] = self.statistics()
+        if self._txn_manager is not None:
+            write_path = self._txn_manager.metrics.snapshot()
+            write_path["wal_bytes_current"] = self._txn_manager.wal.size
+            snapshot["write_path"] = write_path
         return snapshot
 
     def time_to_first(self, query: str | QueryPattern,
@@ -473,8 +590,9 @@ class Database:
         pattern = self.compile(query)
         optimization = self.optimize(pattern, algorithm=algorithm,
                                      **options)
-        self._require_document()
-        context = EngineContext(self.index, self.store, self.document,
+        snapshot = self.read_snapshot()
+        context = EngineContext(snapshot.index, snapshot.store,
+                                snapshot.document,
                                 factors=self.cost_factors)
         return Executor(context, pattern).time_to_first(
             optimization.plan, results=results)
@@ -490,8 +608,9 @@ class Database:
         from repro.engine.twigstack import holistic_matches
 
         pattern = self.compile(query)
-        self._require_document()
-        context = EngineContext(self.index, self.store, self.document,
+        snapshot = self.read_snapshot()
+        context = EngineContext(snapshot.index, snapshot.store,
+                                snapshot.document,
                                 factors=self.cost_factors)
         return holistic_matches(pattern, context)
 

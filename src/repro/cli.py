@@ -14,6 +14,15 @@ Commands:
 * ``calibrate``— fit cost-model factors from a traced query log.
 * ``audit``    — replay a query log through the optimizer and flag
   plan flips and cardinality-estimate drift (exit 3 on flips).
+* ``ingest``   — append documents to a durable database directory in
+  WAL-logged transactions; ``--crash-after``/``--torn-tail`` inject
+  crashes (exit 17) for recovery drills.
+* ``checkpoint`` — flush a durable database's pages and truncate its
+  write-ahead log.
+
+Query-serving commands accept ``--db DIR`` in place of
+``--xml``/``--dataset`` to run against a durable database directory
+(crash-recovered on open).
 
 Examples::
 
@@ -31,6 +40,9 @@ Examples::
         --output query-log.jsonl
     python -m repro calibrate --log query-log.jsonl --json calib.json
     python -m repro audit --dataset mbench --log query-log.jsonl
+    python -m repro ingest --db ./persdb --dataset pers --batches 4
+    python -m repro audit --db ./persdb --log query-log.jsonl
+    python -m repro checkpoint --db ./persdb
 """
 
 from __future__ import annotations
@@ -67,13 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     def add_source(sub: argparse.ArgumentParser,
-                   required: bool = True) -> None:
+                   required: bool = True,
+                   with_db: bool = True) -> None:
         source = sub.add_mutually_exclusive_group(required=required)
         source.add_argument("--xml", metavar="FILE",
                             help="load an XML document from a file")
         source.add_argument("--dataset",
                             choices=("pers", "dblp", "mbench"),
                             help="generate a synthetic data set")
+        if with_db:
+            source.add_argument("--db", metavar="DIR",
+                                help="open a durable database "
+                                     "directory (crash-recovered)")
         sub.add_argument("--nodes", type=int, default=2000,
                          help="target size for generated data sets")
         sub.add_argument("--seed", type=int, default=42)
@@ -164,10 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output path ('-' for stdout)")
 
     bench = commands.add_parser(
-        "bench", help="regenerate a paper table or figure, or run the "
-                      "engine speed benchmark ('engines')")
+        "bench", help="regenerate a paper table or figure, run the "
+                      "engine speed benchmark ('engines'), or the "
+                      "live ingest plan-crossover bench ('ingest')")
     bench.add_argument("artifact",
-                       choices=sorted(BENCH_DRIVERS) + ["engines"])
+                       choices=sorted(BENCH_DRIVERS) + ["engines",
+                                                        "ingest"])
     bench.add_argument("--pers-nodes", type=int, default=2000)
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed runs per engine ('engines' only)")
@@ -248,6 +267,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the search graph as Graphviz dot")
     trace.add_argument("--limit", type=int, default=60,
                        help="events to print (narrative mode)")
+
+    ingest = commands.add_parser(
+        "ingest", help="append documents to a durable database "
+                       "directory in WAL-logged transactions (creates "
+                       "the directory on first use)")
+    ingest.add_argument("--db", metavar="DIR", required=True,
+                        help="database directory (pages.db + wal.log)")
+    add_source(ingest, with_db=False)
+    add_service_flags(ingest)
+    ingest.add_argument("--batches", type=int, default=1, metavar="N",
+                        help="append N copies of the source document, "
+                             "one transaction each (default 1; 0 = "
+                             "no appends, for pure crash drills)")
+    ingest.add_argument("--crash-after", type=int, default=0,
+                        metavar="K",
+                        help="simulate kill -9: exit 17 without "
+                             "cleanup right after the K-th commit")
+    ingest.add_argument("--torn-tail", action="store_true",
+                        help="after the last batch, commit once more, "
+                             "tear the final WAL record, and exit 17 "
+                             "(that transaction must vanish on reopen)")
+    ingest.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="K",
+                        help="checkpoint after every K commits "
+                             "(default 0 = never)")
+
+    checkpoint = commands.add_parser(
+        "checkpoint", help="flush a durable database's pages and "
+                           "truncate its write-ahead log")
+    checkpoint.add_argument("--db", metavar="DIR", required=True,
+                            help="database directory to checkpoint")
     return parser
 
 
@@ -265,24 +315,37 @@ def _service_options(arguments: argparse.Namespace) -> dict:
     return options
 
 
+def _source_document(arguments: argparse.Namespace):
+    """Build the document named by --xml/--dataset (for ingestion)."""
+    if arguments.xml:
+        from repro.document.parser import parse_xml
+
+        with open(arguments.xml, encoding="utf-8") as handle:
+            return parse_xml(handle.read(), name=arguments.xml)
+    kwargs = {"seed": arguments.seed}
+    if arguments.dataset == "dblp":
+        kwargs["entries"] = max(arguments.nodes // 9, 1)
+    else:
+        kwargs["target_nodes"] = arguments.nodes
+    return dataset_document(arguments.dataset, **kwargs)
+
+
 def _open_database(arguments: argparse.Namespace) -> Database:
     options = _service_options(arguments)
+    if getattr(arguments, "db", None):
+        from repro.txn.db import open_database
+
+        return open_database(arguments.db, service_options=options)
     if arguments.xml:
         with open(arguments.xml, encoding="utf-8") as handle:
             return Database.from_xml(handle.read(), name=arguments.xml,
                                      service_options=options)
     if not arguments.dataset:
         raise ReproError(
-            "a data source is required: pass --xml FILE or "
-            "--dataset NAME")
-    kwargs = {"seed": arguments.seed}
-    if arguments.dataset == "dblp":
-        kwargs["entries"] = max(arguments.nodes // 9, 1)
-    else:
-        kwargs["target_nodes"] = arguments.nodes
-    return Database.from_document(
-        dataset_document(arguments.dataset, **kwargs),
-        service_options=options)
+            "a data source is required: pass --xml FILE, "
+            "--dataset NAME, or --db DIR")
+    return Database.from_document(_source_document(arguments),
+                                  service_options=options)
 
 
 def _write_service_stats(database: Database, out: IO[str]) -> None:
@@ -516,6 +579,14 @@ def _command_bench(arguments: argparse.Namespace, out: IO[str]) -> int:
             write_report(report, arguments.json)
             out.write(f"wrote {arguments.json}\n")
         return 0
+    if arguments.artifact == "ingest":
+        from repro.bench.ingest import ingest_crossover_report
+
+        output = ingest_crossover_report(setup)
+        out.write(output.text + "\n")
+        if arguments.json:
+            _write_json_payload(output.rows, arguments.json, out)
+        return 0
     output = BENCH_DRIVERS[arguments.artifact](setup)
     out.write(output.text + "\n")
     return 0
@@ -640,6 +711,94 @@ def _command_trace(arguments: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+CRASH_EXIT_CODE = 17
+"""Exit code of the simulated crashes ``ingest`` can inject, chosen to
+be distinguishable from real failures (1) and plan flips (3)."""
+
+
+def _report_recovery(database: Database, out: IO[str]) -> None:
+    result = database.transactions.last_recovery
+    if result is None:
+        return
+    torn = (f", torn tail at byte {result.torn_offset}"
+            if result.torn_offset is not None else "")
+    out.write(f"recovery: {len(result.committed)} committed "
+              f"transaction(s) replayed "
+              f"({result.replayed_pages} pages), "
+              f"{len(result.discarded)} discarded{torn}\n")
+
+
+def _command_ingest(arguments: argparse.Namespace, out: IO[str]) -> int:
+    import os
+
+    from repro.txn.db import (PAGES_FILE, create_database,
+                              open_database)
+
+    if arguments.batches < 0:
+        raise ReproError("--batches must be >= 0")
+    source = _source_document(arguments)
+    options = _service_options(arguments)
+    batches = arguments.batches
+    if os.path.exists(os.path.join(arguments.db, PAGES_FILE)):
+        database = open_database(arguments.db, service_options=options)
+        _report_recovery(database, out)
+    else:
+        database = create_database(arguments.db, document=source,
+                                   service_options=options)
+        out.write(f"created {arguments.db} with {len(source)} "
+                  f"nodes\n")
+        batches -= 1
+    manager = database.transactions
+    commits = 0
+    for _ in range(batches):
+        txn = manager.begin()
+        txn.append_document(source)
+        result = txn.commit()
+        commits += 1
+        out.write(f"txn {result.txn_id}: +{result.added} nodes, "
+                  f"{result.pages_logged} pages, "
+                  f"{result.wal_bytes} B WAL, "
+                  f"epoch {result.statistics_epoch}\n")
+        if arguments.crash_after and commits >= arguments.crash_after:
+            out.write("simulated crash (kill -9) after commit; "
+                      "no checkpoint, no cleanup\n")
+            out.flush()
+            os._exit(CRASH_EXIT_CODE)
+        if (arguments.checkpoint_every
+                and commits % arguments.checkpoint_every == 0):
+            dropped = database.checkpoint()
+            out.write(f"checkpoint: dropped {dropped} WAL bytes\n")
+    if arguments.torn_tail:
+        txn = manager.begin()
+        txn.append_document(source)
+        result = txn.commit()
+        # Tear into the final COMMIT frame: on reopen this transaction
+        # must be discarded as if the crash hit before the fsync.
+        manager.wal.truncate(max(0, manager.wal.size - 7))
+        out.write(f"tore the WAL tail mid-record; txn "
+                  f"{result.txn_id} must vanish on reopen\n")
+        out.flush()
+        os._exit(CRASH_EXIT_CODE)
+    out.write(f"document: {len(database.document)} nodes, "
+              f"{database.disk.page_count} pages, "
+              f"wal {manager.wal.size} bytes, "
+              f"epoch {database.statistics_epoch}\n")
+    return 0
+
+
+def _command_checkpoint(arguments: argparse.Namespace,
+                        out: IO[str]) -> int:
+    from repro.txn.db import open_database
+
+    database = open_database(arguments.db)
+    _report_recovery(database, out)
+    dropped = database.checkpoint()
+    out.write(f"checkpoint: dropped {dropped} WAL bytes; "
+              f"{database.disk.page_count} pages durable, "
+              f"{len(database.document)} nodes\n")
+    return 0
+
+
 _COMMANDS = {
     "query": _command_query,
     "explain": _command_explain,
@@ -650,6 +809,8 @@ _COMMANDS = {
     "calibrate": _command_calibrate,
     "audit": _command_audit,
     "trace": _command_trace,
+    "ingest": _command_ingest,
+    "checkpoint": _command_checkpoint,
 }
 
 

@@ -76,3 +76,11 @@ class PlanError(ReproError):
 
 class EstimationError(ReproError):
     """Raised by cardinality estimators on invalid requests."""
+
+
+class TransactionError(ReproError):
+    """Transactional write-path misuse (aborted txn reuse, bad target)."""
+
+
+class RecoveryError(ReproError):
+    """Raised when crash recovery finds an unrecoverable log or store."""

@@ -45,6 +45,14 @@ class TagStatistics:
     distinct_texts: int = 0
     distinct_attribute_values: dict[str, int] = field(default_factory=dict)
 
+    def clone(self) -> "TagStatistics":
+        """Deep-enough copy for copy-on-write statistics deltas."""
+        return TagStatistics(
+            self.tag, self.count,
+            self.positions.clone() if self.positions else None,
+            self.levels.clone(), self.distinct_texts,
+            dict(self.distinct_attribute_values))
+
 
 def build_tag_statistics(document: XmlDocument,
                          grid: int = 16) -> dict[str, TagStatistics]:
@@ -52,8 +60,14 @@ def build_tag_statistics(document: XmlDocument,
 
     The special key ``"*"`` aggregates all nodes, supporting wildcard
     pattern nodes.
+
+    The histogram position space is the document's *label* space
+    (``root.end + 1``), not its node count: for densely labeled
+    documents the two coincide, while gapped region labels (the
+    incremental write path, :mod:`repro.txn`) spread fewer nodes over
+    a larger space.
     """
-    space = len(document)
+    space = document.root.end + 1
     stats: dict[str, TagStatistics] = {}
     texts: dict[str, set[str]] = {}
     attributes: dict[str, dict[str, set[str]]] = {}

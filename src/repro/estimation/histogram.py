@@ -81,9 +81,61 @@ class PositionalHistogram:
         self.cells[key] = self.cells.get(key, 0) + 1
         self.total += 1
 
+    def remove(self, region: Region) -> None:
+        """Inverse of :meth:`add` (incremental-maintenance delta).
+
+        The region must have been added to this histogram (or to one
+        whose buckets this one subsumes after :meth:`double_space`);
+        removing an unseen region is a caller bug and raises.
+        """
+        if region.end >= self.position_space:
+            raise EstimationError(
+                f"region end {region.end} outside position space "
+                f"{self.position_space}")
+        key = (self._bucket(region.start), self._bucket(region.end))
+        count = self.cells.get(key, 0)
+        if count <= 0:
+            raise EstimationError(
+                f"cannot remove region {region} from empty cell {key}")
+        if count == 1:
+            del self.cells[key]
+        else:
+            self.cells[key] = count - 1
+        self.total -= 1
+
     def add_all(self, regions: Iterable[Region]) -> None:
         for region in regions:
             self.add(region)
+
+    def double_space(self) -> None:
+        """Double the position space, merging bucket pairs exactly.
+
+        The new bucket ``k`` covers exactly old buckets ``2k`` and
+        ``2k + 1``, so the remap is lossless at histogram resolution —
+        this is how incremental ingest extends a tag's statistics when
+        appended labels outgrow the original space without a rebuild.
+        """
+        self.position_space *= 2
+        self._cell_width = self.position_space / self.grid
+        merged: dict[tuple[int, int], int] = {}
+        for (row, col), count in self.cells.items():
+            key = (row // 2, col // 2)
+            merged[key] = merged.get(key, 0) + count
+        self.cells = merged
+
+    def ensure_space(self, position: int) -> None:
+        """Grow the space (by doubling) until *position* fits."""
+        while position >= self.position_space:
+            self.double_space()
+
+    def clone(self) -> "PositionalHistogram":
+        copy = PositionalHistogram.__new__(PositionalHistogram)
+        copy.position_space = self.position_space
+        copy.grid = self.grid
+        copy._cell_width = self._cell_width
+        copy.cells = dict(self.cells)
+        copy.total = self.total
+        return copy
 
     def _cell_bounds(self, bucket: int) -> tuple[float, float]:
         return bucket * self._cell_width, (bucket + 1) * self._cell_width
@@ -129,9 +181,27 @@ class LevelHistogram:
         self.counts[level] = self.counts.get(level, 0) + 1
         self.total += 1
 
+    def remove(self, level: int) -> None:
+        """Inverse of :meth:`add` (incremental-maintenance delta)."""
+        count = self.counts.get(level, 0)
+        if count <= 0:
+            raise EstimationError(
+                f"cannot remove unseen level {level}")
+        if count == 1:
+            del self.counts[level]
+        else:
+            self.counts[level] = count - 1
+        self.total -= 1
+
     def add_all(self, regions: Iterable[Region]) -> None:
         for region in regions:
             self.add(region.level)
+
+    def clone(self) -> "LevelHistogram":
+        copy = LevelHistogram()
+        copy.counts = dict(self.counts)
+        copy.total = self.total
+        return copy
 
     def probability(self, level: int) -> float:
         if not self.total:

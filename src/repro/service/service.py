@@ -340,6 +340,16 @@ class QueryService:
         registry.gauge("repro_buffer_pool_resident_pages",
                        "Pages resident in the buffer pool"
                        ).set(len(pool))
+        manager = self.database._txn_manager
+        if manager is not None:
+            txn_gauge = registry.gauge(
+                "repro_txn_counter_total",
+                "Write-path counters (commits, WAL bytes, relabels, ...)")
+            for name, value in manager.metrics.snapshot().items():
+                txn_gauge.set(value, counter=name)
+            registry.gauge(
+                "repro_wal_size_bytes",
+                "Current write-ahead log size").set(manager.wal.size)
         engine_gauge = registry.gauge(
             "repro_engine_counter_total",
             "Aggregate cost-model counters over all queries served")

@@ -138,9 +138,13 @@ class BufferPool:
                  if frame.pin_count == 0), None)
             if victim_id is None:
                 raise BufferPoolError("all frames are pinned")
-            frame = self._frames.pop(victim_id)
+            frame = self._frames[victim_id]
+            # Write back *before* dropping the frame: if the disk write
+            # raises, the dirty page must stay in the pool instead of
+            # silently losing its updates.
             if frame.page.dirty:
                 self.disk.write_page(frame.page)
+            self._frames.pop(victim_id)
             self.stats.evictions += 1
 
     def pinned_pages(self) -> list[int]:

@@ -62,6 +62,26 @@ class DiskManager:
     def page_count(self) -> int:
         raise NotImplementedError
 
+    def sync(self) -> None:
+        """Force written pages to stable storage (fsync for files).
+
+        Durability barrier for :meth:`repro.api.Database.persist` and
+        the write-ahead log's checkpoint: after ``sync()`` returns,
+        every completed :meth:`write_page` survives a crash.  In-memory
+        disks have nothing to sync.
+        """
+
+    def extend_to(self, page_count: int) -> None:
+        """Ensure pages ``0 .. page_count-1`` exist (recovery redo).
+
+        Replaying a write-ahead log may reference pages the crashed
+        writer allocated but never flushed; redo must be able to
+        materialize them as zero pages before writing the logged
+        images.
+        """
+        while self.page_count < page_count:
+            self.allocate()
+
     def close(self) -> None:
         """Release resources; further use is an error for file disks."""
 
@@ -130,6 +150,12 @@ class FileDisk(DiskManager):
             raise StorageError(f"page {page_id} was never allocated")
         self._file.seek(page_id * PAGE_SIZE)
         data = self._file.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            # a truncated file must never yield an undersized buffer
+            # that downstream code would misread as an empty page
+            raise StorageError(
+                f"short read on page {page_id}: got {len(data)} of "
+                f"{PAGE_SIZE} bytes ({self._path} is truncated)")
         self.stats.reads += 1
         return Page(page_id, bytearray(data))
 
@@ -145,6 +171,11 @@ class FileDisk(DiskManager):
     @property
     def page_count(self) -> int:
         return self._next_page_id
+
+    def sync(self) -> None:
+        self._check_open()
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if not self._closed:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.document.document import XmlDocument
@@ -116,13 +116,20 @@ class NodeReader:
 
 
 class ElementStore:
-    """Append-only store of node records in buffer-pooled pages."""
+    """Append-only store of node records in buffer-pooled pages.
+
+    Deletions are logical: the record's bytes stay on their page and a
+    tombstone (its record id) joins :attr:`_deleted_rids`, persisted in
+    the catalog so a reopened store skips dead records.  Pages are
+    reclaimed only when a copy-on-write rewrite happens to repack them.
+    """
 
     def __init__(self, pool: BufferPool) -> None:
         self.pool = pool
         self._directory: dict[int, StoredNode] = {}
         self._current_page_id: int | None = None
         self._page_ids: list[int] = []
+        self._deleted_rids: set[StoredNode] = set()
         self.node_count = 0
 
     def store_document(self, document: XmlDocument) -> None:
@@ -174,9 +181,15 @@ class ElementStore:
         return NodeReader(self)
 
     def scan(self) -> Iterator[NodeRecord]:
-        """Iterate all stored nodes in insertion (document) order."""
-        for __, node in self._scan_with_rids():
-            yield node
+        """Iterate all live stored nodes in insertion order.
+
+        Nodes removed via :meth:`remove_nodes` are skipped; note that
+        after subtree mutations insertion order is no longer document
+        order — sort by ``start`` when rebuilding a document.
+        """
+        for rid, node in self._scan_with_rids():
+            if rid not in self._deleted_rids:
+                yield node
 
     def _scan_with_rids(self) -> Iterator[tuple[StoredNode, NodeRecord]]:
         for page_id in self._page_ids:
@@ -197,18 +210,57 @@ class ElementStore:
         """The store's page chain (persisted in the catalog)."""
         return list(self._page_ids)
 
+    # -- mutation (transactional write path) --------------------------------
+
+    def clone_for_write(self) -> "ElementStore":
+        """A copy-on-write clone for a transaction to mutate.
+
+        The clone shares every data page with this store but keeps its
+        own directory, page list, and tombstone set.  Its write cursor
+        is reset, so the first append allocates a *fresh* page — a
+        published page is never touched, which is what keeps in-flight
+        readers of this store consistent while the clone commits.
+        """
+        clone = ElementStore(self.pool)
+        clone._directory = dict(self._directory)
+        clone._page_ids = list(self._page_ids)
+        clone._deleted_rids = set(self._deleted_rids)
+        clone.node_count = self.node_count
+        clone._current_page_id = None
+        return clone
+
+    def remove_nodes(self, node_ids: Iterable[int]) -> None:
+        """Tombstone *node_ids*; their page bytes remain as garbage."""
+        for node_id in node_ids:
+            rid = self._directory.pop(node_id, None)
+            if rid is None:
+                raise StorageError(
+                    f"cannot remove node {node_id}: not stored")
+            self._deleted_rids.add(rid)
+            self.node_count -= 1
+
+    def deleted_rids(self) -> list[list[int]]:
+        """Tombstoned record ids as ``[page, slot]`` pairs (catalog form)."""
+        return sorted([rid.page_id, rid.slot]
+                      for rid in self._deleted_rids)
+
     @classmethod
-    def attach(cls, pool: BufferPool,
-               page_ids: list[int]) -> "ElementStore":
+    def attach(cls, pool: BufferPool, page_ids: list[int],
+               deleted: Iterable[Iterable[int]] = ()) -> "ElementStore":
         """Rebuild a store from its page chain (database reopen).
 
         The record directory is reconstructed with one scan over the
-        chain; payload bytes stay on their pages.
+        chain; payload bytes stay on their pages.  *deleted* lists the
+        tombstoned ``[page, slot]`` record ids from the catalog.
         """
         store = cls(pool)
         store._page_ids = list(page_ids)
         store._current_page_id = page_ids[-1] if page_ids else None
+        store._deleted_rids = {StoredNode(page_id, slot)
+                               for page_id, slot in deleted}
         for rid, node in store._scan_with_rids():
+            if rid in store._deleted_rids:
+                continue
             store._directory[node.node_id] = rid
             store.node_count += 1
         return store

@@ -198,6 +198,141 @@ class TagIndex:
         """Per-tag posting counts (persisted in the catalog)."""
         return dict(self._counts)
 
+    # -- mutation (transactional write path) --------------------------------
+
+    def clone_for_write(self) -> "TagIndex":
+        """A copy-on-write clone for a transaction to mutate.
+
+        Page chains are shared until :meth:`apply_edits` repacks a
+        touched run into fresh pages; untouched tags keep their pages
+        *and* their cached decoded blocks.  The clone's tail map is
+        emptied so a stray :meth:`add_many` can never write into a page
+        the published index still references.
+        """
+        clone = TagIndex(self.pool)
+        clone._page_chains = {tag: list(chain)
+                              for tag, chain in self._page_chains.items()}
+        clone._counts = dict(self._counts)
+        clone._tail = {}
+        clone._blocks = dict(self._blocks)
+        clone._merged_block = self._merged_block
+        clone.decode_epoch = self.decode_epoch
+        return clone
+
+    def apply_edits(
+            self,
+            edits: dict[str, tuple[set[int], list[tuple[int, int, int]]]],
+    ) -> None:
+        """Splice per-tag posting edits, copy-on-write.
+
+        ``edits`` maps each touched tag to ``(removed_starts,
+        added_entries)`` where entries are ``(start, end, level)``
+        tuples.  For each tag the page run covering the edited key
+        range is located via first-entry fences, decoded, spliced, and
+        repacked into *fresh* pages; pages outside the run — and every
+        page of an untouched tag — are shared with the pre-edit index,
+        so snapshots taken before the edit keep reading a consistent
+        chain.
+        """
+        for tag, (removed_starts, added_entries) in edits.items():
+            if not removed_starts and not added_entries:
+                continue
+            self._splice_tag(tag, set(removed_starts),
+                             sorted(added_entries))
+            self._blocks.pop(tag, None)
+            self._merged_block = None
+            self._sorted_tags = None
+        self.decode_epoch += 1
+
+    def _splice_tag(self, tag: str, removed: set[int],
+                    added: list[tuple[int, int, int]]) -> None:
+        chain = self._page_chains.get(tag, [])
+        if chain:
+            fences = self._fences(chain)
+            bounds = [key for key in removed]
+            bounds.extend(entry[0] for entry in added)
+            lo, hi = min(bounds), max(bounds)
+            # first page whose key range may reach lo: the last fence
+            # at or below it (an insert before a page's first key goes
+            # on the preceding page to keep the chain sorted).
+            first = 0
+            for index, fence in enumerate(fences):
+                if fence <= lo:
+                    first = index
+                else:
+                    break
+            last = first
+            for index in range(first + 1, len(fences)):
+                if fences[index] <= hi:
+                    last = index
+                else:
+                    break
+            run = chain[first:last + 1]
+        else:
+            fences = []
+            first, last, run = 0, -1, []
+        entries: list[tuple[int, int, int]] = []
+        for page_id in run:
+            page = self.pool.fetch(page_id)
+            try:
+                payload = b"".join(page.records())
+            finally:
+                self.pool.unpin(page_id)
+            entries.extend(_ENTRY.iter_unpack(payload))
+        kept = [entry for entry in entries if entry[0] not in removed]
+        if len(entries) - len(kept) != len(removed):
+            found = {entry[0] for entry in entries} & removed
+            raise StorageError(
+                f"tag {tag!r}: {len(removed) - len(found)} posting(s) "
+                "to remove not found in the spliced run")
+        merged = sorted(kept + added)
+        for previous, current in zip(merged, merged[1:]):
+            if previous[0] == current[0]:
+                raise StorageError(
+                    f"tag {tag!r}: duplicate posting start {current[0]}")
+        fresh = self._pack_entries(merged)
+        new_chain = chain[:first] + fresh + chain[last + 1:]
+        if new_chain:
+            self._page_chains[tag] = new_chain
+            self._tail[tag] = new_chain[-1]
+            self._counts[tag] = (self._counts.get(tag, 0)
+                                 + len(added) - len(removed))
+        else:
+            self._page_chains.pop(tag, None)
+            self._tail.pop(tag, None)
+            self._counts.pop(tag, None)
+
+    def _fences(self, chain: list[int]) -> list[int]:
+        """First-entry start of every page in *chain*."""
+        fences = []
+        for page_id in chain:
+            page = self.pool.fetch(page_id)
+            try:
+                fences.append(_ENTRY.unpack(page.record(0))[0])
+            finally:
+                self.pool.unpin(page_id)
+        return fences
+
+    def _pack_entries(self,
+                      entries: list[tuple[int, int, int]]) -> list[int]:
+        """Write *entries* into freshly allocated pages; return their ids."""
+        page_ids: list[int] = []
+        page = None
+        try:
+            for entry in entries:
+                payload = _ENTRY.pack(*entry)
+                if page is not None and page.free_space < len(payload):
+                    self.pool.unpin(page.page_id, dirty=True)
+                    page = None
+                if page is None:
+                    page = self.pool.new_page()
+                    page_ids.append(page.page_id)
+                page.insert(payload)
+        finally:
+            if page is not None:
+                self.pool.unpin(page.page_id, dirty=True)
+        return page_ids
+
     @classmethod
     def attach(cls, pool: BufferPool, chains: dict[str, list[int]],
                counts: dict[str, int]) -> "TagIndex":

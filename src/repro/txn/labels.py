@@ -1,0 +1,102 @@
+"""Gapped region labels for incremental document updates.
+
+The engines and the estimator only require of region labels that
+
+* starts are unique and document-ordered,
+* a node's ``(start, end]`` interval encloses exactly its subtree, and
+* ``node_id == start``.
+
+Nothing requires the labels to be *dense* — so the write path spreads
+them out.  A subtree of ``n`` nodes placed into a free label range of
+``capacity`` positions gets a gap ``g = max(1, capacity // (n + 1))``:
+node ``i`` (pre-order) starts at ``base + i*g`` and a node whose last
+pre-order descendant is ``j`` ends at ``base + j*g + g - 1``.  Each
+node therefore owns ``g - 1`` spare positions after its start, and the
+range keeps ``capacity - n*g`` spare positions at its tail, so later
+inserts usually find room without touching any existing label.
+
+When a range *is* exhausted, the transaction relabels the smallest
+enclosing subtree whose span has room (escalating toward the root,
+whose span can always grow — extending ``root.end`` renumbers nobody)
+and logs the relabel through the same WAL/commit machinery as any
+other mutation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.errors import TransactionError
+from repro.document.node import NodeRecord, Region
+
+#: default spread for appends into an unbounded range (under the root).
+DEFAULT_GAP = 8
+
+
+def pick_gap(capacity: int, count: int) -> int | None:
+    """The gap for *count* labels in *capacity* positions, or ``None``.
+
+    ``None`` means the range cannot hold the labels even densely and
+    the caller must relabel a larger enclosing range.  Otherwise the
+    chosen gap leaves roughly one node's worth of slack at the tail:
+    ``count * gap <= capacity`` always holds.
+    """
+    if count < 1:
+        raise TransactionError("cannot label an empty subtree")
+    if capacity < count:
+        return None
+    return max(1, capacity // (count + 1))
+
+
+def relabel(nodes: Sequence[NodeRecord], base: int, gap: int,
+            level_of_top: int, parent_of_top: int) -> list[NodeRecord]:
+    """Re-label a document-ordered subtree forest with gapped positions.
+
+    *nodes* must be complete subtrees in document order (their current
+    labels define the structure; they need not be dense).  Top-level
+    nodes — those whose parent lies outside *nodes* — are re-parented
+    to *parent_of_top* and assigned level ``level_of_top``, with their
+    descendants shifted accordingly.  Node ``i`` starts at
+    ``base + i*gap`` and ends at the last label owned by its last
+    pre-order descendant, so nesting is preserved exactly.
+    """
+    if gap < 1:
+        raise TransactionError(f"label gap must be >= 1, got {gap}")
+    old_starts = [node.start for node in nodes]
+    if old_starts != sorted(set(old_starts)):
+        raise TransactionError(
+            "subtree nodes must be document-ordered and unique")
+    inside = set(old_starts)
+    old_to_new = {start: base + index * gap
+                  for index, start in enumerate(old_starts)}
+    # index of each node's last pre-order descendant (itself if a leaf)
+    last_descendant = [bisect_right(old_starts, node.end) - 1
+                       for node in nodes]
+    results: list[NodeRecord] = []
+    # the level shift of the enclosing forest root, scoped by its
+    # (old) subtree end — forest roots are disjoint, so at most one
+    # entry is ever live, but a stack keeps the scoping explicit.
+    shift_scope: list[tuple[int, int]] = []
+    for index, node in enumerate(nodes):
+        while shift_scope and node.start > shift_scope[-1][0]:
+            shift_scope.pop()
+        if node.parent_id not in inside:
+            shift = level_of_top - node.level
+            shift_scope.append((node.end, shift))
+            parent = parent_of_top
+        else:
+            if not shift_scope:
+                raise TransactionError(
+                    f"node {node.start} is not covered by any subtree "
+                    "root in the forest")
+            shift = shift_scope[-1][1]
+            parent = old_to_new[node.parent_id]
+        new_start = base + index * gap
+        new_end = base + last_descendant[index] * gap + gap - 1
+        results.append(NodeRecord(
+            node_id=new_start, tag=node.tag,
+            region=Region(new_start, new_end, node.level + shift),
+            parent_id=parent, text=node.text,
+            attributes=dict(node.attributes)))
+    return results

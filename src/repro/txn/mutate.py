@@ -1,0 +1,537 @@
+"""Mutation API: WAL-backed transactions with snapshot-isolated commits.
+
+A :class:`Transaction` edits a private working copy of the node table
+(``insert_subtree`` / ``delete_subtree`` / ``append_document``); no
+shared state is touched until :meth:`TransactionManager.commit`.  The
+commit pipeline then
+
+1. **validates** — builds the new :class:`XmlDocument` (which checks
+   every region-nesting invariant) before anything reaches storage;
+2. **prepares copy-on-write storage** — clones of the element store
+   and tag index absorb the node delta into *freshly allocated* pages,
+   never mutating a page the published database references, so every
+   in-flight reader keeps a consistent view;
+3. **logs** — BEGIN, one PAGE record per freshly written page, the new
+   CATALOG payload, and COMMIT are appended to the write-ahead log,
+   which is fsync'd: the commit is durable before publication;
+4. **publishes** — under the database's publish lock the new store,
+   index, document, and a freshly derived estimator are swapped in,
+   the statistics epoch is bumped (invalidating every cached plan),
+   and the incremental statistics absorb the delta.
+
+Readers therefore see either the old or the new database, never a mix
+— snapshot isolation at document granularity — and a crash at any
+point either replays the commit from the log or discards it wholesale
+(:mod:`repro.txn.recovery`).
+
+Writers are serialized: :meth:`TransactionManager.begin` blocks until
+the previous transaction commits or aborts (a single-writer /
+many-readers system, like the paper's Timber base).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import TransactionError
+from repro.document.document import XmlDocument
+from repro.document.node import NodeRecord, Region
+from repro.obs.spans import Span
+from repro.txn.labels import DEFAULT_GAP, pick_gap, relabel
+from repro.txn.stats import IncrementalStatistics
+from repro.txn.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import Database
+
+
+@dataclass
+class TxnMetrics:
+    """Lifetime write-path counters (surfaced via ``Database.stats``)."""
+
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    empty_commits: int = 0
+    nodes_added: int = 0
+    nodes_removed: int = 0
+    pages_logged: int = 0
+    wal_bytes: int = 0
+    relabels: int = 0
+    checkpoints: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class CommitResult:
+    """What one commit did (returned by :meth:`TransactionManager.commit`)."""
+
+    txn_id: int
+    added: int = 0
+    removed: int = 0
+    pages_logged: int = 0
+    wal_bytes: int = 0
+    statistics_epoch: int = 0
+    relabels: int = 0
+    seconds: float = 0.0
+
+    @property
+    def empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+class Transaction:
+    """One writer's private view of the document, plus its edit sets.
+
+    All mutation happens in memory on the working node table; storage,
+    the log, and the published database are only touched at commit.
+    Aborting a transaction is therefore free.
+    """
+
+    def __init__(self, manager: "TransactionManager", txn_id: int,
+                 document: XmlDocument) -> None:
+        self._manager = manager
+        self.txn_id = txn_id
+        self._nodes: dict[int, NodeRecord] = {
+            node.node_id: node for node in document}
+        self._root_id = document.root.node_id
+        # edit sets relative to the base snapshot: a changed node is
+        # its base record in _removed plus its new record in _added.
+        self._added: dict[int, NodeRecord] = {}
+        self._removed: dict[int, NodeRecord] = {}
+        self.status = "open"
+        self.relabels = 0
+
+    # -- bookkeeping primitives ---------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.status != "open":
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.status}")
+
+    def _node(self, node_id: int) -> NodeRecord:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise TransactionError(f"no node with id {node_id}")
+        return node
+
+    def _take(self, node_id: int) -> NodeRecord:
+        node = self._nodes.pop(node_id)
+        if node_id in self._added:
+            del self._added[node_id]
+        else:
+            # untouched so far, hence still the base snapshot's record
+            self._removed[node_id] = node
+        return node
+
+    def _put(self, node: NodeRecord) -> None:
+        if node.node_id in self._nodes:
+            raise TransactionError(
+                f"label collision on node id {node.node_id}")
+        base = self._removed.get(node.node_id)
+        if base is not None and base == node:
+            del self._removed[node.node_id]  # change cancelled out
+        else:
+            self._added[node.node_id] = node
+        self._nodes[node.node_id] = node
+
+    def _subtree(self, node: NodeRecord) -> list[NodeRecord]:
+        """*node* plus its current descendants, in document order."""
+        return sorted((candidate for candidate in self._nodes.values()
+                       if node.start <= candidate.start <= node.end),
+                      key=lambda candidate: candidate.start)
+
+    # -- mutation API ---------------------------------------------------------
+
+    def append_document(self, document: XmlDocument,
+                        gap: int = DEFAULT_GAP) -> int:
+        """Splice *document* under the root as its new last child.
+
+        The root's span always has room past its current end — growing
+        ``root.end`` renumbers nobody — so appends never relabel:
+        exactly ``len(document) + 1`` records change.  Returns the new
+        subtree root's node id.
+        """
+        return self.insert_subtree(self._root_id, document, gap=gap)
+
+    def insert_subtree(self, parent_id: int, document: XmlDocument,
+                       gap: int = DEFAULT_GAP) -> int:
+        """Insert *document* as the last child of node *parent_id*.
+
+        The subtree is placed in the parent's tail label gap when it
+        fits; otherwise the smallest enclosing subtree with room is
+        relabelled locally (escalating to the root only when every
+        intermediate span is exhausted).  Returns the new subtree
+        root's node id.
+        """
+        self._check_open()
+        parent = self._node(parent_id)
+        count = len(document.nodes)
+        if parent.node_id == self._root_id:
+            base = parent.end + 1
+            placed = relabel(document.nodes, base, gap,
+                             parent.level + 1, parent.node_id)
+            self._take(parent.node_id)
+            self._put(NodeRecord(
+                node_id=parent.node_id, tag=parent.tag,
+                region=Region(parent.start, base + count * gap - 1,
+                              parent.level),
+                parent_id=parent.parent_id, text=parent.text,
+                attributes=dict(parent.attributes)))
+            for node in placed:
+                self._put(node)
+            return placed[0].node_id
+        subtree = self._subtree(parent)
+        used_end = max((node.end for node in subtree[1:]),
+                       default=parent.start)
+        free_low = used_end + 1
+        capacity = parent.end - free_low + 1
+        fitted_gap = pick_gap(capacity, count) if capacity >= 1 else None
+        if fitted_gap is not None:
+            placed = relabel(document.nodes, free_low, fitted_gap,
+                             parent.level + 1, parent.node_id)
+            for node in placed:
+                self._put(node)
+            return placed[0].node_id
+        return self._relabel_and_insert(parent, document)
+
+    def delete_subtree(self, node_id: int) -> int:
+        """Remove the node and its whole subtree; returns nodes removed.
+
+        No other label changes: region encodings stay valid when a
+        subrange empties (ancestors' ends simply over-cover, which the
+        containment predicates never notice), so a delete touches
+        exactly the deleted records.
+        """
+        self._check_open()
+        node = self._node(node_id)
+        if node.node_id == self._root_id:
+            raise TransactionError("cannot delete the document root")
+        doomed = self._subtree(node)
+        for victim in doomed:
+            self._take(victim.node_id)
+        return len(doomed)
+
+    # -- local relabel (gap exhaustion) ---------------------------------------
+
+    def _relabel_and_insert(self, parent: NodeRecord,
+                            document: XmlDocument) -> int:
+        """Relabel the nearest enclosing subtree with room, then insert.
+
+        Walks up from *parent* to the smallest ancestor whose span can
+        hold its current descendants plus the incoming subtree, and
+        renumbers exactly that ancestor's descendants with fresh gapped
+        labels (the ancestor's own span is untouched unless it is the
+        root, whose end may grow).
+        """
+        count = len(document.nodes)
+        anchor = parent
+        while anchor.node_id != self._root_id:
+            existing = len(self._subtree(anchor)) - 1
+            if pick_gap(anchor.end - anchor.start,
+                        existing + count) is not None:
+                break
+            anchor = self._node(anchor.parent_id)
+        self.relabels += 1
+        descendants = self._subtree(anchor)[1:]
+        total = len(descendants) + count
+        if anchor.node_id == self._root_id:
+            chosen_gap = max(
+                pick_gap(anchor.end - anchor.start, total) or 0,
+                DEFAULT_GAP)
+        else:
+            chosen_gap = pick_gap(anchor.end - anchor.start, total)
+            assert chosen_gap is not None  # guaranteed by the walk-up
+        children: dict[int, list[NodeRecord]] = {}
+        for node in descendants:
+            children.setdefault(node.parent_id, []).append(node)
+        # pre-order walk of the anchor's subtree with the incoming
+        # document grafted after the insertion parent's last child.
+        # items: (record, source, new_level, last_descendant_index)
+        items: list[list] = []
+
+        def place(node: NodeRecord, level: int) -> None:
+            index = len(items)
+            items.append([node, "old", level, 0])
+            for child in children.get(node.node_id, ()):
+                place(child, level + 1)
+            if node.node_id == parent.node_id:
+                place_graft(document.root, level + 1)
+            items[index][3] = len(items) - 1
+
+        def place_graft(node: NodeRecord, level: int) -> None:
+            index = len(items)
+            items.append([node, "new", level, 0])
+            for child in document.children(node):
+                place_graft(child, level + 1)
+            items[index][3] = len(items) - 1
+
+        for top in children.get(anchor.node_id, ()):
+            place(top, anchor.level + 1)
+        if parent.node_id == anchor.node_id:
+            place_graft(document.root, anchor.level + 1)
+        base = anchor.start + 1
+        # new ids keyed per source namespace (labels of the incoming
+        # document overlap the live document's)
+        new_id: dict[tuple[str, int], int] = {
+            (source, node.node_id): base + index * chosen_gap
+            for index, (node, source, _, __) in enumerate(items)}
+        grafted_root_id: int | None = None
+        for victim in descendants:
+            self._take(victim.node_id)
+        if anchor.node_id == self._root_id:
+            new_end = max(anchor.end,
+                          base + total * chosen_gap - 1)
+            if new_end != anchor.end:
+                root = self._take(anchor.node_id)
+                self._put(NodeRecord(
+                    node_id=root.node_id, tag=root.tag,
+                    region=Region(root.start, new_end, root.level),
+                    parent_id=root.parent_id, text=root.text,
+                    attributes=dict(root.attributes)))
+        for index, (node, source, level, last) in enumerate(items):
+            start = base + index * chosen_gap
+            end = base + last * chosen_gap + chosen_gap - 1
+            if source == "old":
+                old_parent = node.parent_id
+                parent_key = ("old", old_parent)
+            else:
+                old_parent = node.parent_id
+                parent_key = ("new", old_parent)
+            mapped_parent = new_id.get(parent_key)
+            if mapped_parent is None:
+                # tops hang off the anchor; the grafted document's own
+                # root hangs off the insertion parent.
+                if source == "new" and node.parent_id < 0 \
+                        and parent.node_id != anchor.node_id:
+                    mapped_parent = new_id[("old", parent.node_id)]
+                else:
+                    mapped_parent = anchor.node_id
+            record = NodeRecord(
+                node_id=start, tag=node.tag,
+                region=Region(start, end, level),
+                parent_id=mapped_parent, text=node.text,
+                attributes=dict(node.attributes))
+            self._put(record)
+            if source == "new" and node.parent_id < 0:
+                grafted_root_id = start
+        assert grafted_root_id is not None
+        return grafted_root_id
+
+    # -- terminal states ------------------------------------------------------
+
+    def commit(self) -> CommitResult:
+        """Shorthand for ``manager.commit(self)``."""
+        return self._manager.commit(self)
+
+    def abort(self) -> None:
+        """Shorthand for ``manager.abort(self)``."""
+        self._manager.abort(self)
+
+
+class TransactionManager:
+    """Single-writer transaction scope over one :class:`Database`.
+
+    Owns the write-ahead log, the writer mutex, and the incremental
+    statistics; created via :meth:`repro.api.Database.transactions`
+    (in-memory log) or :func:`repro.txn.db.open_database` (durable
+    log next to the pages file).
+    """
+
+    def __init__(self, db: "Database", wal: WriteAheadLog | None = None,
+                 next_txn_id: int = 1) -> None:
+        self.db = db
+        self.wal = wal if wal is not None else WriteAheadLog(None)
+        self.metrics = TxnMetrics()
+        self._writer = threading.Lock()
+        self._next_txn_id = next_txn_id
+        #: set by :func:`repro.txn.db.open_database` after a redo pass.
+        self.last_recovery = None
+        document = db.document
+        if document is None:
+            raise TransactionError(
+                "cannot manage transactions before a document is loaded")
+        self.stats = IncrementalStatistics(document,
+                                           grid=db.histogram_grid)
+
+    def reset_statistics(self) -> None:
+        """Rebuild the incremental statistics from the live document
+        (after :meth:`repro.api.Database.reload` replaced it wholesale)."""
+        document = self.db.document
+        if document is not None:
+            self.stats = IncrementalStatistics(document,
+                                               grid=self.db.histogram_grid)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction; blocks while another writer is open."""
+        self._writer.acquire()
+        try:
+            document = self.db.document
+            if document is None:
+                raise TransactionError("no document loaded")
+            txn = Transaction(self, self._next_txn_id, document)
+            self._next_txn_id += 1
+            self.metrics.begun += 1
+            return txn
+        except BaseException:
+            self._writer.release()
+            raise
+
+    def abort(self, txn: Transaction) -> None:
+        """Discard the transaction; free because nothing was shared."""
+        txn._check_open()
+        txn.status = "aborted"
+        self.metrics.aborted += 1
+        self._writer.release()
+
+    def commit(self, txn: Transaction) -> CommitResult:
+        """Validate, prepare copy-on-write storage, log, publish."""
+        txn._check_open()
+        started = time.perf_counter()
+        try:
+            result = self._commit_locked(txn, started)
+            txn.status = "committed"
+            return result
+        except BaseException:
+            txn.status = "failed"
+            self.metrics.aborted += 1
+            raise
+        finally:
+            self._writer.release()
+
+    def _commit_locked(self, txn: Transaction,
+                       started: float) -> CommitResult:
+        db = self.db
+        added = txn._added
+        removed = txn._removed
+        if not added and not removed:
+            self.metrics.empty_commits += 1
+            return CommitResult(txn_id=txn.txn_id,
+                                statistics_epoch=db.statistics_epoch,
+                                seconds=time.perf_counter() - started)
+        span = Span("commit", detail=f"txn {txn.txn_id}")
+        prepare_span = Span("prepare",
+                            detail=f"+{len(added)} -{len(removed)} nodes")
+        prepare_started = time.perf_counter()
+        # 1. validate: XmlDocument enforces every labelling invariant
+        # before a single byte reaches storage or the log.
+        new_document = XmlDocument(
+            sorted(txn._nodes.values(), key=lambda node: node.start),
+            name=db.name)
+        # 2. copy-on-write storage: the delta lands in fresh pages only.
+        pages_before = db.disk.page_count
+        store = db.store.clone_for_write()
+        store.remove_nodes(removed)
+        for node in sorted(added.values(), key=lambda node: node.start):
+            store.store_node(node)
+        index = db.index.clone_for_write()
+        index.apply_edits(_index_edits(added.values(), removed.values()))
+        payload = {
+            "name": db.name,
+            "store_pages": store.page_ids,
+            "index_chains": index.chains(),
+            "index_counts": index.counts(),
+            "node_count": store.node_count,
+        }
+        deleted = store.deleted_rids()
+        if deleted:
+            payload["deleted_rids"] = deleted
+        prepare_span.seconds = time.perf_counter() - prepare_started
+        # 3. log + fsync: after append_commit returns, the transaction
+        # survives any crash; before it, recovery discards it wholesale.
+        wal_span = Span("wal")
+        wal_started = time.perf_counter()
+        wal_before = self.wal.size
+        self.wal.append_begin(txn.txn_id)
+        pages_logged = 0
+        for page_id in range(pages_before, db.disk.page_count):
+            page = db.pool.fetch(page_id)
+            try:
+                image = page.to_bytes()
+            finally:
+                db.pool.unpin(page_id)
+            self.wal.append_page(txn.txn_id, page_id, image)
+            pages_logged += 1
+        self.wal.append_catalog(txn.txn_id, payload)
+        self.wal.append_commit(txn.txn_id)
+        wal_bytes = self.wal.size - wal_before
+        wal_span.seconds = time.perf_counter() - wal_started
+        wal_span.detail = f"{pages_logged} pages, {wal_bytes} bytes"
+        # 4. publish atomically: readers see old or new, never a mix.
+        publish_span = Span("publish")
+        publish_started = time.perf_counter()
+        with db._publish_lock:
+            db.store = store
+            db.index = index
+            db.document = new_document
+            self.stats.apply_delta(added.values(), removed.values())
+            db._estimator = self.stats.estimator()
+            db._exact_estimator = None
+            db.statistics_epoch += 1
+            if db._service is not None:
+                db._service.invalidate()
+        publish_span.seconds = time.perf_counter() - publish_started
+        publish_span.detail = f"epoch {db.statistics_epoch}"
+        seconds = time.perf_counter() - started
+        span.children = [prepare_span, wal_span, publish_span]
+        span.seconds = seconds
+        span.output_rows = len(added) + len(removed)
+        db.tracer.record(span)
+        self.metrics.committed += 1
+        self.metrics.nodes_added += len(added)
+        self.metrics.nodes_removed += len(removed)
+        self.metrics.pages_logged += pages_logged
+        self.metrics.wal_bytes += wal_bytes
+        self.metrics.relabels += txn.relabels
+        return CommitResult(
+            txn_id=txn.txn_id, added=len(added), removed=len(removed),
+            pages_logged=pages_logged, wal_bytes=wal_bytes,
+            statistics_epoch=db.statistics_epoch,
+            relabels=txn.relabels, seconds=seconds)
+
+    # -- checkpoint ------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Flush pages, anchor the catalog, reset the log.
+
+        Ordering is the recovery contract: data pages and the page-0
+        catalog become durable (``persist`` ends in an fsync) *before*
+        the log resets, so a crash at any point leaves either the old
+        log (fully replayable over the new pages — redo is idempotent)
+        or the new, empty one.  Returns the bytes dropped from the log.
+        """
+        with self._writer:
+            dropped = self.wal.size
+            self.db.persist()
+            self.wal.truncate(0)
+            self.wal.append_checkpoint({
+                "pages": self.db.disk.page_count,
+                "node_count": self.db.store.node_count,
+                "statistics_epoch": self.db.statistics_epoch,
+            })
+            self.metrics.checkpoints += 1
+            return dropped
+
+    def close(self) -> None:
+        """Close the log (the database's pages stay open)."""
+        self.wal.close()
+
+
+def _index_edits(
+        added: Iterable[NodeRecord], removed: Iterable[NodeRecord],
+) -> dict[str, tuple[set[int], list[tuple[int, int, int]]]]:
+    """Group a node delta into per-tag posting edits."""
+    edits: dict[str, tuple[set[int], list[tuple[int, int, int]]]] = {}
+    for node in removed:
+        edits.setdefault(node.tag, (set(), []))[0].add(node.start)
+    for node in added:
+        edits.setdefault(node.tag, (set(), []))[1].append(
+            (node.start, node.end, node.level))
+    return edits

@@ -1,0 +1,143 @@
+"""Incremental statistics maintenance for the write path.
+
+The optimizer plans with per-tag :class:`~repro.estimation.estimator.
+TagStatistics` (counts, positional and level histograms, distinct-value
+counts).  A full rebuild is O(document); a commit touching *k* nodes
+should pay O(k).  :class:`IncrementalStatistics` keeps the per-tag
+entries plus the *multisets* the distinct-value counts are derived from
+(a plain set cannot survive removals), and applies per-commit deltas by
+copy-on-write: only the entries of touched tags (plus the ``"*"``
+aggregate) are cloned, so estimators handed out for earlier snapshots
+keep reading frozen statistics — the statistics-epoch analogue of the
+posting-chain copy-on-write in :mod:`repro.txn.mutate`.
+
+Appended labels can outgrow a histogram's position space; the space is
+then doubled (an exact bucket-pair merge, see
+:meth:`~repro.estimation.histogram.PositionalHistogram.double_space`)
+until the new labels fit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.document.document import XmlDocument
+from repro.document.node import NodeRecord
+from repro.estimation.estimator import (WILDCARD, PositionalEstimator,
+                                        TagStatistics,
+                                        build_tag_statistics)
+from repro.estimation.histogram import PositionalHistogram
+
+
+class IncrementalStatistics:
+    """Per-tag statistics that absorb add/remove node deltas."""
+
+    def __init__(self, document: XmlDocument, grid: int = 16) -> None:
+        self.grid = grid
+        self._stats: dict[str, TagStatistics] = build_tag_statistics(
+            document, grid=grid)
+        # multisets behind the distinct counts: value -> multiplicity
+        self._texts: dict[str, Counter] = {}
+        self._attributes: dict[str, dict[str, Counter]] = {}
+        for node in document:
+            self._count_values(node, +1)
+        #: label space all histograms were sized for (grows by doubling)
+        self.position_space = document.root.end + 1
+
+    # -- delta application -------------------------------------------------
+
+    def apply_delta(self, added: Iterable[NodeRecord],
+                    removed: Iterable[NodeRecord]) -> None:
+        """Absorb one commit's node delta, copy-on-write per tag.
+
+        Touched tag entries (and the ``"*"`` aggregate) are cloned
+        before mutation so previously handed-out estimators keep a
+        frozen view; untouched tags share their existing entries.
+        """
+        added = list(added)
+        removed = list(removed)
+        touched = ({node.tag for node in added}
+                   | {node.tag for node in removed})
+        if not touched:
+            return
+        touched.add(WILDCARD)
+        max_end = max((node.end for node in added), default=0)
+        if max_end >= self.position_space:
+            # space growth rebuckets every histogram, so every entry
+            # must be cloned to keep older estimators frozen
+            touched.update(self._stats)
+        for tag in touched:
+            entry = self._stats.get(tag)
+            if entry is not None:
+                self._stats[tag] = entry.clone()
+        if max_end >= self.position_space:
+            space = self.position_space
+            while max_end >= space:
+                space *= 2
+            self._grow_space(space)
+        for node in removed:
+            for key in (node.tag, WILDCARD):
+                entry = self._stats[key]
+                entry.count -= 1
+                entry.positions.remove(node.region)
+                entry.levels.remove(node.level)
+            self._count_values(node, -1)
+        for node in added:
+            for key in (node.tag, WILDCARD):
+                entry = self._stats.get(key)
+                if entry is None:
+                    entry = TagStatistics(
+                        key, positions=PositionalHistogram(
+                            self.position_space, self.grid))
+                    self._stats[key] = entry
+                entry.count += 1
+                entry.positions.ensure_space(node.end)
+                entry.positions.add(node.region)
+                entry.levels.add(node.level)
+            self._count_values(node, +1)
+        for tag in touched:
+            entry = self._stats.get(tag)
+            if entry is None:
+                continue
+            if entry.count == 0 and tag != WILDCARD:
+                del self._stats[tag]
+                continue
+            entry.distinct_texts = len(self._texts.get(tag, ()))
+            entry.distinct_attribute_values = {
+                name: len(values)
+                for name, values in self._attributes.get(tag, {}).items()
+                if values}
+
+    def _grow_space(self, space: int) -> None:
+        """Double every histogram until it covers *space* labels."""
+        for entry in self._stats.values():
+            if entry.positions is not None:
+                entry.positions.ensure_space(space - 1)
+        self.position_space = space
+
+    def _count_values(self, node: NodeRecord, sign: int) -> None:
+        for key in (node.tag, WILDCARD):
+            if node.text:
+                texts = self._texts.setdefault(key, Counter())
+                texts[node.text] += sign
+                if texts[node.text] <= 0:
+                    del texts[node.text]
+            if node.attributes:
+                per_tag = self._attributes.setdefault(key, {})
+                for name, value in node.attributes.items():
+                    values = per_tag.setdefault(name, Counter())
+                    values[value] += sign
+                    if values[value] <= 0:
+                        del values[value]
+
+    # -- estimator hand-out ------------------------------------------------
+
+    def estimator(self) -> PositionalEstimator:
+        """A fresh estimator over the current statistics.
+
+        Created per publish: the estimator memoizes pairwise edge
+        estimates, and a fresh instance both clears that memo and
+        freezes the (copy-on-write) tag entries it was built over.
+        """
+        return PositionalEstimator(self._stats)

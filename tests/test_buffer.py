@@ -121,3 +121,42 @@ class TestBufferPool:
     def test_capacity_validation(self, disk):
         with pytest.raises(BufferPoolError):
             BufferPool(disk, capacity=0)
+
+
+class FlakyDisk(InMemoryDisk):
+    """Disk whose next N write_page calls raise (evict-path injection)."""
+
+    def __init__(self):
+        super().__init__()
+        self.failures = 0
+
+    def write_page(self, page):
+        if self.failures > 0:
+            self.failures -= 1
+            raise OSError("injected write failure")
+        super().write_page(page)
+
+
+class TestEvictionExceptionSafety:
+    def test_failed_writeback_keeps_dirty_page(self):
+        disk = FlakyDisk()
+        ids = make_pages(disk, 2)
+        pool = BufferPool(disk, capacity=1)
+        page = pool.fetch(ids[0])
+        page.insert(b"precious")
+        pool.unpin(ids[0], dirty=True)
+        disk.failures = 1
+        # evicting the dirty victim fails mid-writeback: the miss must
+        # surface the error but the dirty page must stay in the pool
+        with pytest.raises(OSError):
+            pool.fetch(ids[1])
+        assert len(pool) == 1
+        assert pool.stats.evictions == 0
+        pool.check_invariants()
+        # once the disk heals, nothing was lost
+        refetched = pool.fetch(ids[0])
+        assert b"precious" in refetched.records()
+        pool.unpin(ids[0])
+        pool.fetch(ids[1])
+        assert disk.read_page(ids[0]).records() == [b"page-0",
+                                                    b"precious"]

@@ -290,3 +290,82 @@ class TestMetricsListener:
         worker.join(timeout=5.0)
         assert not worker.is_alive()
         assert "serving /metrics" in out.getvalue()
+
+
+class TestIngestCommands:
+    def test_ingest_creates_then_appends(self, tmp_path):
+        db_dir = str(tmp_path / "db")
+        code, output = run_cli(
+            "ingest", "--db", db_dir, "--dataset", "pers",
+            "--nodes", "200", "--batches", "3")
+        assert code == 0
+        assert "created" in output
+        assert "txn 1:" in output and "txn 2:" in output
+        code, output = run_cli(
+            "query", "--db", db_dir, "//manager//employee/name")
+        assert code == 0
+        assert "matches" in output
+
+    def test_ingest_reopen_and_checkpoint(self, tmp_path):
+        db_dir = str(tmp_path / "db")
+        run_cli("ingest", "--db", db_dir, "--dataset", "pers",
+                "--nodes", "200", "--batches", "2")
+        code, output = run_cli(
+            "ingest", "--db", db_dir, "--dataset", "pers",
+            "--nodes", "200", "--batches", "2",
+            "--checkpoint-every", "1")
+        assert code == 0
+        assert "recovery:" in output
+        assert "checkpoint: dropped" in output
+        code, output = run_cli("checkpoint", "--db", db_dir)
+        assert code == 0
+        assert "pages durable" in output
+
+    def test_ingest_rejects_bad_batches(self, tmp_path):
+        code, _ = run_cli("ingest", "--db", str(tmp_path / "db"),
+                          "--dataset", "pers", "--batches", "-1")
+        assert code == 1
+
+    def test_checkpoint_missing_db(self, tmp_path):
+        code, _ = run_cli("checkpoint", "--db",
+                          str(tmp_path / "missing"))
+        assert code == 1
+
+
+class TestIngestCrashDrills:
+    """The crash flags call os._exit, so they need a subprocess."""
+
+    def run_repro(self, *argv):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(
+            __file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env, timeout=120)
+
+    def test_torn_tail_transaction_vanishes(self, tmp_path):
+        db_dir = str(tmp_path / "db")
+        proc = self.run_repro(
+            "ingest", "--db", db_dir, "--dataset", "pers",
+            "--nodes", "200", "--batches", "2", "--torn-tail")
+        assert proc.returncode == 17, proc.stderr
+        assert "tore the WAL tail" in proc.stdout
+        code, output = run_cli("checkpoint", "--db", db_dir)
+        assert code == 0
+        assert "1 discarded" in output
+        assert "torn tail at byte" in output
+
+    def test_crash_after_commit_is_durable(self, tmp_path):
+        db_dir = str(tmp_path / "db")
+        proc = self.run_repro(
+            "ingest", "--db", db_dir, "--dataset", "pers",
+            "--nodes", "200", "--batches", "4", "--crash-after", "2")
+        assert proc.returncode == 17, proc.stderr
+        code, output = run_cli("checkpoint", "--db", db_dir)
+        assert code == 0
+        assert "2 committed transaction(s) replayed" in output

@@ -1,0 +1,159 @@
+"""Crash-injection recovery tests.
+
+The write path's crash model: because commits are copy-on-write, the
+pages file plus *any* prefix of the write-ahead log is a valid crash
+state.  So we run a random mutation workload against a durable
+database, snapshot the expected document after every commit, and then
+reopen a copy of the directory with the log cut at **every** record
+boundary (and mid-record, and with corrupted bytes): recovery must
+surface exactly the transactions whose COMMIT made it into the
+prefix, and the recovered database must answer queries identically to
+one rebuilt from scratch from the expected document — on both
+execution engines.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+
+import pytest
+
+from repro.api import Database
+from repro.document.document import XmlDocument
+from repro.txn.db import (PAGES_FILE, WAL_FILE, create_database,
+                          open_database)
+from repro.txn.wal import COMMIT, WriteAheadLog
+from tests.conftest import random_document
+from tests.test_txn import node_shape, query_bindings
+
+TXNS = 5
+XPATHS = ("//a//b", "//root//c/d", "//b/c")
+
+
+def small_subtree(rng: random.Random) -> XmlDocument:
+    return random_document(rng.randrange(1 << 30),
+                           size=rng.randint(3, 12))
+
+
+def run_workload(path, seed: int = 7):
+    """Create a database, run TXNS random transactions against it.
+
+    Returns ``(oracle, committed_at)``: the expected node list after
+    each commit (``oracle[0]`` is the initial document), and the WAL
+    offset at which each transaction's COMMIT record ends.
+    """
+    rng = random.Random(seed)
+    database = create_database(path, document=random_document(seed,
+                                                              size=50))
+    oracle = {0: list(database.document.nodes)}
+    for txn_id in range(1, TXNS + 1):
+        document = database.document
+        with database.transaction() as txn:
+            action = rng.random()
+            victims = [node for node in document.nodes
+                       if node.parent_id >= 0]
+            if action < 0.30 and victims:
+                target = rng.choice(victims)
+                subtree = len(list(document.subtree(target)))
+                if subtree <= len(document) // 3:
+                    txn.delete_subtree(target.node_id)
+                else:
+                    txn.append_document(small_subtree(rng))
+            elif action < 0.65 and victims:
+                parent = rng.choice(victims)
+                txn.insert_subtree(parent.node_id, small_subtree(rng))
+            else:
+                txn.append_document(small_subtree(rng))
+        oracle[txn_id] = list(database.document.nodes)
+    committed_at = {}
+    for record in database.transactions.wal.replay():
+        if record.type == COMMIT:
+            committed_at[record.txn_id] = record.end_offset
+    assert sorted(committed_at) == list(range(1, TXNS + 1))
+    return oracle, committed_at
+
+
+def reopen_with_wal(workdir, crash_dir, wal_bytes: bytes):
+    """Copy the pages file, install *wal_bytes*, and recover."""
+    crash_dir.mkdir(exist_ok=True)
+    shutil.copyfile(workdir / PAGES_FILE, crash_dir / PAGES_FILE)
+    (crash_dir / WAL_FILE).write_bytes(wal_bytes)
+    return open_database(crash_dir)
+
+
+class TestCrashInjection:
+    @pytest.fixture(scope="class")
+    def workload(self, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("txn-workload") / "db"
+        oracle, committed_at = run_workload(workdir)
+        wal_bytes = (workdir / WAL_FILE).read_bytes()
+        scratch = WriteAheadLog(None)
+        scratch.restore_bytes(wal_bytes)
+        list(scratch.replay())
+        assert scratch.torn_offset is None
+        return (workdir, oracle, committed_at, wal_bytes,
+                scratch.record_boundaries())
+
+    def test_truncation_at_every_boundary(self, workload, tmp_path):
+        workdir, oracle, committed_at, wal_bytes, boundaries = workload
+        assert boundaries[-1] == len(wal_bytes)
+        # also cut 3 bytes into the next record: same visible prefix
+        cuts = sorted(set(boundaries)
+                      | {cut + 3 for cut in boundaries[:-1]})
+        for index, cut in enumerate(cuts):
+            expected = sorted(txn_id for txn_id, end
+                              in committed_at.items() if end <= cut)
+            reopened = reopen_with_wal(workdir, tmp_path / f"c{index}",
+                                       wal_bytes[:cut])
+            recovery = reopened.transactions.last_recovery
+            assert recovery.committed == expected, cut
+            tail = max(expected, default=0)
+            # anything in flight at the cut must be discarded, and
+            # nothing committed may be
+            assert all(txn_id > tail for txn_id in recovery.discarded)
+            assert node_shape(reopened.document) == node_shape(
+                XmlDocument(oracle[tail], name="oracle")), cut
+
+    def test_recovered_database_queries_like_rebuilt(self, workload,
+                                                     tmp_path):
+        workdir, oracle, committed_at, wal_bytes, _ = workload
+        # cut at each commit boundary: the interesting visible states
+        for txn_id, end in sorted(committed_at.items()):
+            reopened = reopen_with_wal(workdir, tmp_path / f"q{txn_id}",
+                                       wal_bytes[:end])
+            rebuilt = Database.from_document(
+                XmlDocument(oracle[txn_id], name="oracle"))
+            for xpath in XPATHS:
+                for engine in ("block", "tuple"):
+                    assert (query_bindings(reopened, xpath, engine)
+                            == query_bindings(rebuilt, xpath, engine)
+                            ), (txn_id, xpath, engine)
+
+    def test_corrupted_record_ends_replay(self, workload, tmp_path):
+        workdir, oracle, committed_at, wal_bytes, boundaries = workload
+        # flip one byte inside the record that follows txn 2's COMMIT
+        cut = committed_at[2]
+        raw = bytearray(wal_bytes)
+        raw[cut + 12] ^= 0xFF
+        reopened = reopen_with_wal(workdir, tmp_path / "corrupt",
+                                   bytes(raw))
+        recovery = reopened.transactions.last_recovery
+        assert recovery.committed == [1, 2]
+        assert recovery.torn_offset == cut
+        assert node_shape(reopened.document) == node_shape(
+            XmlDocument(oracle[2], name="oracle"))
+
+    def test_full_log_recovers_final_state(self, workload, tmp_path):
+        workdir, oracle, committed_at, wal_bytes, _ = workload
+        reopened = reopen_with_wal(workdir, tmp_path / "full",
+                                   wal_bytes)
+        recovery = reopened.transactions.last_recovery
+        assert recovery.committed == list(range(1, TXNS + 1))
+        assert recovery.torn_offset is None
+        assert node_shape(reopened.document) == node_shape(
+            XmlDocument(oracle[TXNS], name="oracle"))
+        # and the recovered database accepts new transactions
+        with reopened.transaction() as txn:
+            txn.append_document(random_document(99, size=5))
+        assert reopened.transactions.metrics.committed == 1
