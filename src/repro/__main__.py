@@ -1,7 +1,14 @@
-"""``python -m repro`` — see :mod:`repro.cli`."""
+"""``python -m repro`` — see :mod:`repro.cli`.
+
+The ``__name__`` guard is load-bearing: ``--shards`` starts
+spawn-method worker processes, and spawn re-imports the main module
+(as ``__mp_main__``) in every child — without the guard each worker
+would re-run the CLI command recursively.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -557,10 +557,13 @@ class Database:
 
         Keys: ``queries``, ``errors``, ``latency`` (p50/p95/p99 …),
         ``plan_cache`` (hit rate, size, evictions), ``engine``
-        (aggregate cost-model counters), ``buffer_pool`` and, when a
-        document is loaded, ``storage``.
+        (aggregate cost-model counters), ``statistics_epoch`` (the
+        epoch every plan-cache key embeds — diff it across a reload to
+        confirm cached plans were invalidated), ``buffer_pool`` and,
+        when a document is loaded, ``storage``.
         """
         snapshot = self.service.snapshot()
+        snapshot["statistics_epoch"] = self.statistics_epoch
         snapshot["buffer_pool"] = {
             "hits": self.pool.stats.hits,
             "misses": self.pool.stats.misses,

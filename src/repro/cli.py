@@ -125,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "plan-caching service")
     query.add_argument("--workers", type=int, default=1,
                        help="thread-pool width for --repeat batches")
+    query.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="partition the corpus across N process-"
+                            "based shards and scatter-gather the "
+                            "query (0 = single node)")
+    query.add_argument("--dump-bindings", metavar="FILE", default=None,
+                       help="write every result binding as one "
+                            "canonical line (sorted, diff-able "
+                            "across shard counts and engines)")
     add_service_flags(query)
 
     explain = commands.add_parser(
@@ -193,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", metavar="FILE", default=None,
                        help="also write the report as JSON "
                             "('engines' only; e.g. BENCH_PR2.json)")
+    bench.add_argument("--shards", action="store_true",
+                       help="with 'engines': measure the sharded "
+                            "scatter-gather scaling curve (shard "
+                            "counts 1/2/4) instead of the engine "
+                            "speed comparison; JSON goes to e.g. "
+                            "BENCH_PR6.json")
 
     log_cmd = commands.add_parser(
         "log", help="run the paper workload with a persistent query "
@@ -360,11 +374,57 @@ def _write_service_stats(database: Database, out: IO[str]) -> None:
               f"{cache['size']}/{cache['capacity']} entries)\n")
 
 
+def _shard_corpus_document(arguments: argparse.Namespace):
+    """The corpus for ``--shards N`` (a document, not a database —
+    the shard fleet persists its own per-shard page files)."""
+    if getattr(arguments, "db", None):
+        from repro.txn.db import open_database
+
+        return open_database(arguments.db).document
+    if not (arguments.xml or arguments.dataset):
+        raise ReproError(
+            "a data source is required: pass --xml FILE, "
+            "--dataset NAME, or --db DIR")
+    return _source_document(arguments)
+
+
+def _dump_bindings(execution, target: str, out: IO[str]) -> None:
+    """Write the canonical binding set, one sorted line per distinct
+    binding — byte-identical across engines and shard counts, so CI
+    can diff the files directly."""
+    lines = sorted(",".join(str(start) for start in key)
+                   for key in execution.canonical())
+    with open(target, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    out.write(f"wrote {len(lines)} distinct bindings to {target}\n")
+
+
 def _command_query(arguments: argparse.Namespace, out: IO[str]) -> int:
-    database = _open_database(arguments)
-    pattern = database.compile(arguments.xpath)
     if arguments.repeat < 1:
         raise ReproError("--repeat must be at least 1")
+    if arguments.shards < 0:
+        raise ReproError("--shards must be >= 0")
+    if arguments.shards:
+        if arguments.holistic:
+            raise ReproError("--holistic evaluates single-node only; "
+                             "drop --shards")
+        from repro.shard.sharded import ShardedDatabase
+
+        with ShardedDatabase(
+                _shard_corpus_document(arguments),
+                shards=arguments.shards,
+                engine=arguments.engine,
+                service_options=_service_options(arguments),
+        ) as database:
+            return _run_query(database, arguments, out,
+                              suffix=f", {arguments.shards} shards")
+    return _run_query(_open_database(arguments), arguments, out)
+
+
+def _run_query(database, arguments: argparse.Namespace, out: IO[str],
+               suffix: str = "") -> int:
+    pattern = database.compile(arguments.xpath)
     if arguments.holistic:
         execution = database.holistic_query(pattern)
         out.write(f"{len(execution)} matches (holistic twig join)\n")
@@ -378,7 +438,7 @@ def _command_query(arguments: argparse.Namespace, out: IO[str]) -> int:
         execution = result.execution
         out.write(f"{len(execution)} matches "
                   f"({arguments.algorithm} x{arguments.repeat}, "
-                  f"{arguments.workers} workers)\n")
+                  f"{arguments.workers} workers{suffix})\n")
         if arguments.explain:
             out.write(result.explain() + "\n")
         _write_service_stats(database, out)
@@ -390,10 +450,12 @@ def _command_query(arguments: argparse.Namespace, out: IO[str]) -> int:
         out.write(f"{len(execution)} matches "
                   f"({arguments.algorithm}: "
                   f"{report.optimization_seconds * 1e3:.2f} ms, "
-                  f"{report.alternatives_considered} plans)\n")
+                  f"{report.alternatives_considered} plans{suffix})\n")
         if arguments.explain:
             out.write(result.explain() + "\n")
     out.write(f"engine: {execution.metrics.summary()}\n")
+    if arguments.dump_bindings:
+        _dump_bindings(execution, arguments.dump_bindings, out)
     if arguments.limit:
         document = database.document
         for binding in execution.bindings()[:arguments.limit]:
@@ -569,6 +631,17 @@ def _command_generate(arguments: argparse.Namespace,
 
 def _command_bench(arguments: argparse.Namespace, out: IO[str]) -> int:
     setup = ExperimentSetup(pers_nodes=arguments.pers_nodes)
+    if arguments.artifact == "engines" and arguments.shards:
+        from repro.bench.shard import (render_shard_report,
+                                       shard_scaling_report,
+                                       write_shard_report)
+
+        report = shard_scaling_report(setup, repeats=arguments.repeats)
+        out.write(render_shard_report(report) + "\n")
+        if arguments.json:
+            write_shard_report(report, arguments.json)
+            out.write(f"wrote {arguments.json}\n")
+        return 0
     if arguments.artifact == "engines":
         from repro.bench.speed import (engine_speed_report, render_report,
                                        write_report)

@@ -82,5 +82,10 @@ class TransactionError(ReproError):
     """Transactional write-path misuse (aborted txn reuse, bad target)."""
 
 
+class ShardError(ReproError):
+    """Sharded-execution failure: bad partitioning arguments, a dead or
+    unresponsive shard worker, or use of a closed coordinator."""
+
+
 class RecoveryError(ReproError):
     """Raised when crash recovery finds an unrecoverable log or store."""

@@ -53,9 +53,37 @@ class TagStatistics:
             self.levels.clone(), self.distinct_texts,
             dict(self.distinct_attribute_values))
 
+    def merge(self, other: "TagStatistics") -> None:
+        """Fold *other* into this entry (shard-statistics merge).
 
-def build_tag_statistics(document: XmlDocument,
-                         grid: int = 16) -> dict[str, TagStatistics]:
+        Counts and histograms add exactly because per-shard histograms
+        are built over the shared global label space.  Distinct-value
+        counts add under a disjoint-values assumption — shards own
+        disjoint subtrees, so a value repeated across shards is
+        counted once per shard.  That overcounts shared values, which
+        only makes equality predicates look *more* selective; the
+        estimates remain sane for planning.
+        """
+        if other.tag != self.tag:
+            raise EstimationError(
+                f"cannot merge statistics for tag {other.tag!r} into "
+                f"{self.tag!r}")
+        self.count += other.count
+        if other.positions is not None:
+            if self.positions is None:
+                self.positions = other.positions.clone()
+            else:
+                self.positions.merge_from(other.positions)
+        self.levels.merge_from(other.levels)
+        self.distinct_texts += other.distinct_texts
+        for name, distinct in other.distinct_attribute_values.items():
+            self.distinct_attribute_values[name] = (
+                self.distinct_attribute_values.get(name, 0) + distinct)
+
+
+def build_tag_statistics(document: XmlDocument, grid: int = 16,
+                         nodes: Iterable[NodeRecord] | None = None,
+                         space: int | None = None) -> dict[str, TagStatistics]:
     """Scan *document* once and build statistics for every tag.
 
     The special key ``"*"`` aggregates all nodes, supporting wildcard
@@ -66,8 +94,15 @@ def build_tag_statistics(document: XmlDocument,
     documents the two coincide, while gapped region labels (the
     incremental write path, :mod:`repro.txn`) spread fewer nodes over
     a larger space.
+
+    *nodes* restricts the scan to a subset of the document's nodes and
+    *space* pins the histogram position space — together they let a
+    shard build statistics over only its assigned subtrees while
+    keeping histogram buckets aligned with every other shard's, so
+    :func:`merge_tag_statistics` can add them cell-for-cell.
     """
-    space = document.root.end + 1
+    if space is None:
+        space = document.root.end + 1
     stats: dict[str, TagStatistics] = {}
     texts: dict[str, set[str]] = {}
     attributes: dict[str, dict[str, set[str]]] = {}
@@ -76,7 +111,7 @@ def build_tag_statistics(document: XmlDocument,
             key, positions=PositionalHistogram(space, grid))
         texts[key] = set()
         attributes[key] = {}
-    for node in document:
+    for node in (document if nodes is None else nodes):
         for key in (node.tag, WILDCARD):
             entry = stats.get(key)
             if entry is None:
@@ -97,6 +132,26 @@ def build_tag_statistics(document: XmlDocument,
         entry.distinct_attribute_values = {
             name: len(values) for name, values in attributes[key].items()}
     return stats
+
+
+def merge_tag_statistics(
+        parts: Iterable[Mapping[str, TagStatistics]]
+) -> dict[str, TagStatistics]:
+    """Combine per-shard statistics into one global statistics map.
+
+    Every part must have been built over the same position space and
+    grid (see :func:`build_tag_statistics`'s *space* parameter); the
+    merged map is what the coordinator's planner estimates against.
+    """
+    merged: dict[str, TagStatistics] = {}
+    for part in parts:
+        for tag, entry in part.items():
+            existing = merged.get(tag)
+            if existing is None:
+                merged[tag] = entry.clone()
+            else:
+                existing.merge(entry)
+    return merged
 
 
 def _predicate_selectivity(node: PatternNode,

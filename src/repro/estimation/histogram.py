@@ -137,6 +137,23 @@ class PositionalHistogram:
         copy.total = self.total
         return copy
 
+    def merge_from(self, other: "PositionalHistogram") -> None:
+        """Add *other*'s counts cell-for-cell (shard-statistics merge).
+
+        Both histograms must cover the same position space with the
+        same grid — per-shard statistics are built over the *global*
+        label space precisely so their buckets line up exactly.
+        """
+        if (other.position_space != self.position_space
+                or other.grid != self.grid):
+            raise EstimationError(
+                f"cannot merge histograms over different spaces "
+                f"({self.position_space}/{self.grid} vs "
+                f"{other.position_space}/{other.grid})")
+        for key, count in other.cells.items():
+            self.cells[key] = self.cells.get(key, 0) + count
+        self.total += other.total
+
     def _cell_bounds(self, bucket: int) -> tuple[float, float]:
         return bucket * self._cell_width, (bucket + 1) * self._cell_width
 
@@ -202,6 +219,12 @@ class LevelHistogram:
         copy.counts = dict(self.counts)
         copy.total = self.total
         return copy
+
+    def merge_from(self, other: "LevelHistogram") -> None:
+        """Add *other*'s depth counts (shard-statistics merge)."""
+        for level, count in other.counts.items():
+            self.counts[level] = self.counts.get(level, 0) + count
+        self.total += other.total
 
     def probability(self, level: int) -> float:
         if not self.total:

@@ -330,17 +330,21 @@ class QueryService:
                        "Plan cache evictions").set(cache_stats.evictions)
         registry.gauge("repro_plan_cache_hit_rate",
                        "Plan cache hit rate").set(cache_stats.hit_rate)
-        pool = self.database.pool
-        registry.gauge("repro_buffer_pool_hits",
-                       "Buffer pool hits").set(pool.stats.hits)
-        registry.gauge("repro_buffer_pool_misses",
-                       "Buffer pool misses").set(pool.stats.misses)
-        registry.gauge("repro_buffer_pool_hit_rate",
-                       "Buffer pool hit rate").set(pool.stats.hit_rate)
-        registry.gauge("repro_buffer_pool_resident_pages",
-                       "Pages resident in the buffer pool"
-                       ).set(len(pool))
-        manager = self.database._txn_manager
+        # the database duck-type also admits facades without local
+        # storage (ShardedDatabase) — skip the gauges they can't back
+        pool = getattr(self.database, "pool", None)
+        if pool is not None:
+            registry.gauge("repro_buffer_pool_hits",
+                           "Buffer pool hits").set(pool.stats.hits)
+            registry.gauge("repro_buffer_pool_misses",
+                           "Buffer pool misses").set(pool.stats.misses)
+            registry.gauge("repro_buffer_pool_hit_rate",
+                           "Buffer pool hit rate"
+                           ).set(pool.stats.hit_rate)
+            registry.gauge("repro_buffer_pool_resident_pages",
+                           "Pages resident in the buffer pool"
+                           ).set(len(pool))
+        manager = getattr(self.database, "_txn_manager", None)
         if manager is not None:
             txn_gauge = registry.gauge(
                 "repro_txn_counter_total",
@@ -360,6 +364,9 @@ class QueryService:
                 "repro_engine_simulated_cost_total",
                 "Aggregate simulated cost over all queries served"
             ).set(self._engine_totals.simulated_cost())
+        collect_extra = getattr(self.database, "collect_gauges", None)
+        if collect_extra is not None:
+            collect_extra(registry)
 
     def export_metrics(self, fmt: str = "prometheus") -> str:
         """Render the registry: ``"prometheus"`` text or ``"json"``."""

@@ -1,0 +1,244 @@
+"""Worker-pool coordinator: plan once, fan out, gather, merge.
+
+:class:`ShardWorkerPool` owns one process per shard.  The pool's only
+query entry point, :meth:`ShardWorkerPool.scatter_gather`, sends the
+*same* physical plan to every worker and collects one reply per shard
+— the plan-once/fan-out protocol: because shards share the global
+label space and statistics were merged before planning, the
+coordinator's single optimized plan is valid verbatim on every shard.
+
+Failure semantics: a worker that dies (crash, kill, broken pipe) or
+stops responding surfaces as a typed
+:class:`~repro.errors.ShardError` and the pool tears itself down —
+terminating and joining every remaining worker — before re-raising,
+so callers never hang on a half-dead pool and never leak processes.
+A worker-side *query* error (the worker stays alive) is re-raised
+under its original :mod:`repro.errors` type when possible after all
+shard replies are drained, keeping the pipes in lockstep.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import threading
+import time
+
+from repro import errors
+from repro.errors import ReproError, ShardError
+from repro.shard.worker import worker_main
+
+__all__ = ["ShardWorkerPool", "merge_sorted_runs"]
+
+#: seconds a gather waits for one shard reply before declaring the
+#: worker unresponsive (generous: workers answer in milliseconds).
+DEFAULT_TIMEOUT = 60.0
+
+
+def merge_sorted_runs(
+        runs: list[list[tuple[int, ...]]]) -> list[tuple[int, ...]]:
+    """Document-order-preserving k-way merge of shard result streams.
+
+    Each run is a sorted list of merge keys (start-label tuples, see
+    :func:`~repro.shard.worker.merge_key`); the merged stream is
+    globally sorted.  Adjacent equal rows are collapsed: the only
+    duplicates shards can produce are bindings touching *only* the
+    replicated document root (every other binding involves a node
+    owned by exactly one shard), and identical rows have identical
+    keys, so they emerge adjacent.
+    """
+    merged: list[tuple[int, ...]] = []
+    previous: tuple[int, ...] | None = None
+    for row in heapq.merge(*runs):
+        if row != previous:
+            merged.append(row)
+            previous = row
+    return merged
+
+
+class ShardWorkerPool:
+    """One coordinator-side handle per shard worker process."""
+
+    def __init__(self, pages_paths: list[str],
+                 start_method: str = "spawn",
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        if not pages_paths:
+            raise ShardError("a worker pool needs at least one shard")
+        self.timeout = timeout
+        self._mutex = threading.Lock()
+        self._closed = False
+        context = mp.get_context(start_method)
+        self._processes: list = []
+        self._connections: list = []
+        try:
+            for shard_id, path in enumerate(pages_paths):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=worker_main,
+                    args=(shard_id, str(path), child_end),
+                    name=f"repro-shard-{shard_id}", daemon=True)
+                process.start()
+                child_end.close()
+                self._processes.append(process)
+                self._connections.append(parent_end)
+            for shard_id in range(len(pages_paths)):
+                reply = self._recv(shard_id)
+                if reply[0] != "ready":
+                    raise ShardError(
+                        f"shard {shard_id} failed to start: {reply!r}")
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def shards(self) -> int:
+        return len(self._processes)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def alive(self) -> list[bool]:
+        return [process.is_alive() for process in self._processes]
+
+    # -- protocol ---------------------------------------------------------
+
+    def _send(self, shard_id: int, message: tuple) -> None:
+        try:
+            self._connections[shard_id].send(message)
+        except (OSError, ValueError, BrokenPipeError) as error:
+            raise ShardError(
+                f"shard worker {shard_id} is gone: {error}") from error
+
+    def _recv(self, shard_id: int) -> tuple:
+        """One reply from a shard, or :class:`ShardError` on death.
+
+        Polls the pipe so a dead worker is detected promptly instead
+        of blocking forever on a ``recv`` that can never complete.
+        """
+        connection = self._connections[shard_id]
+        process = self._processes[shard_id]
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                if connection.poll(0.05):
+                    return connection.recv()
+            except (EOFError, OSError) as error:
+                raise ShardError(
+                    f"shard worker {shard_id} closed its pipe "
+                    f"(exit code {process.exitcode})") from error
+            if not process.is_alive():
+                # drain a reply the worker managed to send before dying
+                try:
+                    if connection.poll(0):
+                        return connection.recv()
+                except (EOFError, OSError):
+                    pass
+                raise ShardError(
+                    f"shard worker {shard_id} died mid-query "
+                    f"(exit code {process.exitcode})")
+            if time.monotonic() > deadline:
+                raise ShardError(
+                    f"shard worker {shard_id} unresponsive after "
+                    f"{self.timeout:.0f}s")
+
+    @staticmethod
+    def _raise_worker_error(shard_id: int, type_name: str,
+                            message: str) -> None:
+        """Re-raise a worker-reported error under its original type."""
+        error_type = getattr(errors, type_name, None)
+        if (isinstance(error_type, type)
+                and issubclass(error_type, ReproError)):
+            raise error_type(f"[shard {shard_id}] {message}")
+        raise ShardError(
+            f"shard {shard_id} failed: {type_name}: {message}")
+
+    # -- queries ----------------------------------------------------------
+
+    def scatter_gather(self, plan, pattern, engine: str,
+                       want_span: bool = False) -> list[dict]:
+        """Fan one plan out to every shard; one payload per shard back.
+
+        Serialized by the pool mutex: the pipe protocol is strictly
+        one request, one reply per worker, so overlapping queries from
+        service threads queue here instead of interleaving messages.
+        """
+        with self._mutex:
+            if self._closed:
+                raise ShardError("worker pool is closed")
+            try:
+                for shard_id in range(self.shards):
+                    self._send(shard_id,
+                               ("query", plan, pattern, engine,
+                                want_span))
+                replies = [self._recv(shard_id)
+                           for shard_id in range(self.shards)]
+            except ShardError:
+                self._teardown()
+                raise
+        failure: tuple[int, str, str] | None = None
+        payloads: list[dict] = []
+        for shard_id, reply in enumerate(replies):
+            if reply[0] == "ok":
+                payloads.append(reply[1])
+            elif reply[0] == "error" and failure is None:
+                failure = (shard_id, reply[1], reply[2])
+        if failure is not None:
+            self._raise_worker_error(*failure)
+        return payloads
+
+    def ping(self) -> list[int]:
+        """Round-trip every worker; shard ids echoed back."""
+        with self._mutex:
+            if self._closed:
+                raise ShardError("worker pool is closed")
+            try:
+                for shard_id in range(self.shards):
+                    self._send(shard_id, ("ping",))
+                return [self._recv(shard_id)[1]
+                        for shard_id in range(self.shards)]
+            except ShardError:
+                self._teardown()
+                raise
+
+    def crash_worker(self, shard_id: int) -> None:
+        """Make one worker die on its next message (fault testing)."""
+        with self._mutex:
+            if self._closed:
+                raise ShardError("worker pool is closed")
+            self._send(shard_id, ("exit",))
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker; idempotent, never raises on teardown."""
+        with self._mutex:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard_id, connection in enumerate(self._connections):
+            process = self._processes[shard_id]
+            try:
+                if process.is_alive():
+                    connection.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,197 @@
+"""Subtree partitioning by region-label ranges.
+
+The partitioning invariant that makes scatter-gather execution sound:
+**no structural relationship ever crosses a shard boundary**.  Region
+encodings give it almost for free — an ancestor's region strictly
+contains every descendant's region, so cutting the corpus into whole
+subtrees of the root's children means any (ancestor, descendant) pair
+is either (a) inside one assigned subtree, hence in one shard, or
+(b) anchored at the document root, which is *replicated* into every
+shard.  Every shard therefore computes its structural joins entirely
+locally against its own index, with the original (global) region
+labels preserved, and shard results are disjoint except for bindings
+that touch only the root.
+
+Each shard receives a contiguous run of the root's child subtrees in
+document order, so a shard owns one closed label range
+``[label_lo, label_hi]`` and merged shard outputs interleave back into
+document order with a k-way merge.  Assignment is greedy: subtrees are
+dealt to the current shard until it reaches its fair share of the
+remaining node count.  Shards past the last subtree stay empty —
+legal, and exercised by the differential oracle's edge cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShardError
+from repro.document.document import XmlDocument
+from repro.document.node import NodeRecord
+from repro.estimation.estimator import (TagStatistics,
+                                        build_tag_statistics,
+                                        merge_tag_statistics)
+
+__all__ = ["ShardAssignment", "ShardPartition", "partition_document"]
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """One shard's slice of the corpus.
+
+    ``subtree_roots`` are the node ids (== start labels) of the root
+    children whose whole subtrees this shard owns, in document order;
+    ``label_lo``/``label_hi`` is the closed region-label range they
+    cover (``-1``/``-1`` for an empty shard).  ``node_count`` excludes
+    the replicated document root.
+    """
+
+    shard_id: int
+    subtree_roots: tuple[int, ...]
+    label_lo: int
+    label_hi: int
+    node_count: int
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.subtree_roots
+
+
+class ShardPartition:
+    """A full partitioning of one document across N shards."""
+
+    def __init__(self, document: XmlDocument,
+                 assignments: list[ShardAssignment]) -> None:
+        self.document = document
+        self.assignments = list(assignments)
+
+    @property
+    def shards(self) -> int:
+        return len(self.assignments)
+
+    def shard_nodes(self, shard_id: int) -> list[NodeRecord]:
+        """The shard's own nodes (document order, root excluded)."""
+        assignment = self.assignments[shard_id]
+        nodes: list[NodeRecord] = []
+        for root_id in assignment.subtree_roots:
+            nodes.extend(self.document.subtree(
+                self.document.node(root_id)))
+        return nodes
+
+    def shard_document(self, shard_id: int) -> XmlDocument:
+        """The shard's corpus as a standalone document.
+
+        The document root is replicated in front of the assigned
+        subtrees and every node keeps its **original** region label,
+        so per-shard plans see globally meaningful positions and the
+        coordinator can merge shard outputs by label alone.
+        """
+        nodes = [self.document.root]
+        nodes.extend(self.shard_nodes(shard_id))
+        return XmlDocument(
+            nodes, name=f"{self.document.name}-shard{shard_id}")
+
+    def shard_of(self, node_id: int) -> int:
+        """The shard owning *node_id* (the root lives in every shard)."""
+        if node_id == self.document.root.node_id:
+            raise ShardError(
+                "the document root is replicated into every shard")
+        for assignment in self.assignments:
+            if assignment.label_lo <= node_id <= assignment.label_hi:
+                return assignment.shard_id
+        raise ShardError(f"node {node_id} is outside every shard range")
+
+    # -- statistics ------------------------------------------------------
+
+    def shard_statistics(self, shard_id: int,
+                         grid: int = 16) -> dict[str, TagStatistics]:
+        """Statistics over the shard's own nodes, in the *global*
+        position space — buckets align across shards, so
+        :func:`merged_statistics` can add them cell-for-cell."""
+        return build_tag_statistics(
+            self.document, grid=grid, nodes=self.shard_nodes(shard_id),
+            space=self.document.root.end + 1)
+
+    def merged_statistics(self, grid: int = 16) -> dict[str, TagStatistics]:
+        """Global statistics assembled from the per-shard catalogs.
+
+        The replicated root is contributed exactly once, so merged
+        node counts and histograms equal a direct whole-document scan;
+        only distinct-value counts differ (summed per shard under a
+        disjoint-values assumption, see
+        :meth:`~repro.estimation.estimator.TagStatistics.merge`).
+        """
+        space = self.document.root.end + 1
+        parts = [self.shard_statistics(shard_id, grid=grid)
+                 for shard_id in range(self.shards)]
+        parts.append(build_tag_statistics(
+            self.document, grid=grid, nodes=[self.document.root],
+            space=space))
+        return merge_tag_statistics(parts)
+
+
+def partition_document(document: XmlDocument,
+                       shards: int) -> ShardPartition:
+    """Split *document* into *shards* label ranges of whole subtrees.
+
+    Greedy contiguous assignment: walking the root's children in
+    document order, each shard takes subtrees until it holds its fair
+    share — the remaining node count divided by the remaining shard
+    count.  Contiguity keeps each shard a single closed label range;
+    a subtree larger than the fair share simply overfills its shard
+    (subtrees are never split, that is the whole invariant).
+    """
+    if shards < 1:
+        raise ShardError(f"shard count must be >= 1, got {shards}")
+    children = document.children(document.root)
+    # gap-free labels (every freshly parsed document) make subtree
+    # sizing O(1); label gaps from the write path fall back to counting
+    dense = (len(document)
+             == document.root.end - document.root.start + 1)
+    sizes = [child.region.subtree_size if dense
+             else sum(1 for _ in document.subtree(child))
+             for child in children]
+    assignments: list[ShardAssignment] = []
+    index = 0
+    remaining = sum(sizes)
+    for shard_id in range(shards):
+        target = remaining / (shards - shard_id)
+        taken: list[NodeRecord] = []
+        count = 0
+        while index < len(children) and (count < target or not taken):
+            # leave at least one subtree per still-unfilled shard when
+            # there are enough to go around
+            left_over = len(children) - index
+            if taken and left_over <= (shards - shard_id - 1):
+                break
+            taken.append(children[index])
+            count += sizes[index]
+            index += 1
+        remaining -= count
+        assignments.append(ShardAssignment(
+            shard_id=shard_id,
+            subtree_roots=tuple(child.node_id for child in taken),
+            label_lo=taken[0].start if taken else -1,
+            label_hi=taken[-1].end if taken else -1,
+            node_count=count))
+    if index < len(children):  # pragma: no cover - defensive
+        raise ShardError("partitioner failed to place every subtree")
+    return ShardPartition(document, assignments)
+
+
+def structural_pairs_local(partition: ShardPartition) -> bool:
+    """Verify the partitioning invariant (test helper, O(n^2) worst).
+
+    True iff every (ancestor, descendant) pair not involving the root
+    lives in one shard.
+    """
+    document = partition.document
+    root_id = document.root.node_id
+    for node in document:
+        if node.node_id == root_id:
+            continue
+        shard = partition.shard_of(node.node_id)
+        for descendant in document.descendants(node):
+            if partition.shard_of(descendant.node_id) != shard:
+                return False
+    return True

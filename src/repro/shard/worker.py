@@ -1,0 +1,113 @@
+"""Shard worker process: one durable shard database, one request loop.
+
+Workers are real processes (``multiprocessing``), not threads — the
+GIL caps the thread-pooled :class:`~repro.service.service.QueryService`
+at one core of join work, while N shard workers join in parallel.
+:func:`worker_main` is a module-level function with picklable
+arguments, so it is spawn-start-method safe.
+
+Each worker reopens its shard's ``pages.db`` **read-only in effect**:
+queries never dirty pages, so any number of workers can share one
+persisted shard directory.  The protocol over the pipe is a tagged
+tuple per message:
+
+* ``("query", plan, pattern, engine, want_span)`` →
+  ``("ok", payload)`` with the shard's rows sorted by their
+  document-order merge key, or ``("error", type_name, message)``.
+  Rows ship *as* their merge keys — plain tuples of start labels —
+  not as region tuples: the coordinator owns the full document and
+  rebuilds each region by start label locally, and pickling flat int
+  tuples through the pipe is several times cheaper than pickling
+  region dataclasses (result shipping is the dominant scatter-gather
+  overhead).
+* ``("ping",)`` → ``("pong", shard_id)``
+* ``("stop",)`` → ``("bye",)`` and a clean exit
+* ``("exit",)`` → ``os._exit(1)``, no reply — a crash hook for the
+  coordinator fault tests
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine.tuples import MatchTuple
+
+__all__ = ["worker_main", "merge_key"]
+
+
+def merge_key(row: MatchTuple) -> tuple[int, ...]:
+    """Document-order merge key of one match tuple.
+
+    The tuple of region start labels in schema order.  Start labels
+    are global and unique per node, so distinct bindings always have
+    distinct keys and the coordinator's k-way merge interleaves shard
+    streams into one total document order.
+    """
+    return tuple(region.start for region in row)
+
+
+def worker_main(shard_id: int, pages_path: str, conn) -> None:
+    """Entry point of one shard worker process."""
+    # imports deferred below the module guard keep spawn startup lean
+    from repro.api import Database
+    from repro.storage.disk import FileDisk
+
+    try:
+        database = Database.open(FileDisk(pages_path))
+    except BaseException as error:  # noqa: BLE001 - report and die
+        _send_error(conn, error)
+        conn.close()
+        return
+    conn.send(("ready", shard_id, len(database.document or ())))
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break  # coordinator went away
+        kind = request[0]
+        if kind == "stop":
+            conn.send(("bye",))
+            break
+        if kind == "ping":
+            conn.send(("pong", shard_id))
+            continue
+        if kind == "exit":
+            os._exit(1)
+        if kind != "query":
+            conn.send(("error", "ShardError",
+                       f"unknown request {request[0]!r}"))
+            continue
+        _, plan, pattern, engine, want_span = request
+        cpu_started = time.process_time()
+        try:
+            result = database.execute(plan, pattern, engine=engine,
+                                      spans=want_span)
+        except BaseException as error:  # noqa: BLE001 - stay serving
+            _send_error(conn, error)
+            continue
+        # CPU time alongside wall time: when workers outnumber cores
+        # they time-slice, wall inflates with contention, and CPU time
+        # is what a worker would take with a core of its own
+        cpu_seconds = time.process_time() - cpu_started
+        rows = sorted(merge_key(row) for row in result.tuples)
+        conn.send(("ok", {
+            "shard_id": shard_id,
+            "rows": rows,
+            "node_ids": result.schema.node_ids,
+            "counters": result.metrics.counters(),
+            "page_reads": result.metrics.page_reads,
+            "buffer_hits": result.metrics.buffer_hits,
+            "buffer_misses": result.metrics.buffer_misses,
+            "wall_seconds": result.metrics.wall_seconds,
+            "cpu_seconds": cpu_seconds,
+            "span": result.span,
+        }))
+    conn.close()
+
+
+def _send_error(conn, error: BaseException) -> None:
+    try:
+        conn.send(("error", type(error).__name__, str(error)))
+    except (OSError, ValueError):  # pragma: no cover - pipe gone
+        pass

@@ -232,3 +232,101 @@ def test_engine_differential_slow_corpus():
                                                 document_size=90)
     assert checked >= SLOW_CORPUS
     assert not disagreements, "\n".join(disagreements)
+
+
+# -- shard oracle: scatter-gather vs single node --------------------------
+
+
+SHARDED_COUNTS = (1, 2, 4)
+
+
+def _dominant_document():
+    """Root with one giant child subtree and two tiny siblings — the
+    worst case for the greedy partitioner (one shard overfills)."""
+    from repro.document.builder import DocumentBuilder
+
+    builder = DocumentBuilder(name="dominant")
+    builder.start_element("root")
+    builder.start_element("a")
+    for _ in range(25):
+        builder.start_element("b")
+        builder.start_element("c")
+        builder.end_element()
+    for _ in range(25):
+        builder.end_element()
+    builder.end_element()  # the giant <a>
+    for _ in range(2):
+        builder.start_element("a")
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+def _sparse_document():
+    """Two small subtrees — fewer than the widest shard count, so some
+    shards end up empty and must still answer queries."""
+    from repro.document.builder import DocumentBuilder
+
+    builder = DocumentBuilder(name="sparse")
+    builder.start_element("root")
+    for _ in range(2):
+        builder.start_element("a")
+        builder.start_element("b")
+        builder.start_element("c")
+        builder.end_element()
+        builder.end_element()
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+def _sharded_documents():
+    return [personnel_document(target_nodes=240),
+            random_document(7, size=60),
+            _dominant_document(),
+            _sparse_document()]
+
+
+def test_sharded_differential_binding_and_order_oracle():
+    """Scatter-gather must be observationally equivalent to one node.
+
+    For every document (including the empty-shard and the
+    single-subtree-dominant edge cases), shard count in
+    ``SHARDED_COUNTS`` and both execution engines, the same physical
+    plan runs sharded and single-node: the merged binding sets must be
+    identical, and the merged tuple stream must arrive in global
+    document order (non-decreasing merge keys).
+    """
+    from repro.shard import ShardedDatabase
+    from repro.shard.worker import merge_key
+
+    rng = make_rng(20030307)
+    disagreements: list[str] = []
+    for document in _sharded_documents():
+        single = Database.from_document(document)
+        patterns = [_pattern_for(document, rng) for _ in range(5)]
+        for shards in SHARDED_COUNTS:
+            with ShardedDatabase(document, shards=shards) as sharded:
+                for pattern in patterns:
+                    plan = sharded.optimize(pattern,
+                                            algorithm="DPP").plan
+                    reference = single.execute(plan,
+                                               pattern).canonical()
+                    for engine in ("block", "tuple"):
+                        case = (f"[doc={document.name} shards={shards}"
+                                f" engine={engine} pattern="
+                                f"{pattern.describe()!r}]")
+                        merged = sharded.execute(plan, pattern,
+                                                 engine=engine)
+                        if merged.canonical() != reference:
+                            disagreements.append(
+                                f"{case} sharded produced "
+                                f"{len(merged.canonical())} bindings,"
+                                f" single node {len(reference)}")
+                        keys = [merge_key(row)
+                                for row in merged.tuples]
+                        if keys != sorted(keys):
+                            disagreements.append(
+                                f"{case} merged output is not in "
+                                f"document order")
+    assert not disagreements, "\n".join(disagreements)

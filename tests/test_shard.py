@@ -1,0 +1,272 @@
+"""Shard subsystem tests: partitioner properties, fault injection,
+pool lifecycle, and the statistics-epoch plan-cache contract.
+
+The partitioner tests are property-style over randomized documents
+and shard counts — the invariants (structurally related pairs stay
+co-located, shard node sets are disjoint, their union is the corpus)
+must hold for *any* tree shape, including degenerate ones.  The
+process-backed tests keep documents small and reuse one worker fleet
+per module where possible: spawning a worker costs real fork/exec
+time, and these tests are tier-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Database
+from repro.core.plans import IndexScanPlan
+from repro.errors import PlanError, ShardError
+from repro.estimation.estimator import build_tag_statistics
+from repro.shard import (ShardedDatabase, partition_document)
+from repro.shard.partition import structural_pairs_local
+from repro.shard.worker import merge_key
+from repro.workloads.personnel import personnel_document
+
+from tests.conftest import canonical_bindings, random_document
+
+SHARD_COUNTS = (1, 2, 3, 5, 9)
+
+
+def _property_documents():
+    for seed, size in ((11, 30), (23, 90), (37, 200)):
+        yield random_document(seed, size=size)
+    yield personnel_document(target_nodes=250)
+
+
+# -- partitioner properties (pure, no worker processes) ------------------
+
+
+def test_partition_disjoint_union_and_colocation():
+    for document in _property_documents():
+        corpus = ({node.node_id for node in document}
+                  - {document.root.node_id})
+        for shards in SHARD_COUNTS:
+            partition = partition_document(document, shards)
+            assert partition.shards == shards
+            owner: dict[int, int] = {}
+            for shard_id in range(shards):
+                assignment = partition.assignments[shard_id]
+                ids = {node.node_id
+                       for node in partition.shard_nodes(shard_id)}
+                assert len(ids) == assignment.node_count
+                for node_id in ids:
+                    assert node_id not in owner, (
+                        f"node {node_id} assigned to shards "
+                        f"{owner[node_id]} and {shard_id}")
+                    owner[node_id] = shard_id
+                if assignment.is_empty:
+                    assert assignment.label_lo == -1
+                    assert assignment.label_hi == -1
+                else:
+                    assert all(assignment.label_lo <= node_id
+                               <= assignment.label_hi
+                               for node_id in ids)
+            assert set(owner) == corpus
+            assert structural_pairs_local(partition)
+
+
+def test_partition_shard_documents_are_valid_with_replicated_root():
+    for document in _property_documents():
+        for shards in (2, 4):
+            partition = partition_document(document, shards)
+            for shard_id in range(shards):
+                # XmlDocument's constructor validates structure, so
+                # building the shard document IS the structural check
+                shard_doc = partition.shard_document(shard_id)
+                assert shard_doc.root.region == document.root.region
+                assert (len(shard_doc) == 1 + partition
+                        .assignments[shard_id].node_count)
+
+
+def test_partition_more_shards_than_subtrees_leaves_empty_shards():
+    document = random_document(5, size=12)
+    children = len(document.children(document.root))
+    shards = children + 4
+    partition = partition_document(document, shards)
+    empty = [assignment for assignment in partition.assignments
+             if assignment.is_empty]
+    assert len(empty) == shards - children
+    # an empty shard still yields a queryable one-node document
+    empty_doc = partition.shard_document(empty[0].shard_id)
+    assert len(empty_doc) == 1
+
+
+def test_partition_shard_of_contract():
+    document = personnel_document(target_nodes=120)
+    partition = partition_document(document, 3)
+    with pytest.raises(ShardError):
+        partition.shard_of(document.root.node_id)
+    with pytest.raises(ShardError):
+        partition.shard_of(document.root.end + 10)
+    for node in document:
+        if node.node_id != document.root.node_id:
+            shard_id = partition.shard_of(node.node_id)
+            assert node.node_id in {
+                owned.node_id
+                for owned in partition.shard_nodes(shard_id)}
+
+
+def test_partition_rejects_bad_shard_count():
+    document = random_document(1, size=10)
+    with pytest.raises(ShardError):
+        partition_document(document, 0)
+
+
+def test_merged_statistics_equal_direct_scan():
+    """Summing per-shard statistics must reproduce the single-node
+    catalog exactly for counts and histograms (they are built over the
+    shared global label space); distinct-value counts may only
+    overcount (disjoint-values assumption)."""
+    for document in (random_document(23, size=90),
+                     personnel_document(target_nodes=250)):
+        direct = build_tag_statistics(document, grid=8)
+        merged = partition_document(document, 3).merged_statistics(
+            grid=8)
+        assert set(merged) == set(direct)
+        for tag, expected in direct.items():
+            entry = merged[tag]
+            assert entry.count == expected.count, tag
+            assert entry.levels.counts == expected.levels.counts, tag
+            assert entry.positions.cells == expected.positions.cells
+            assert (entry.positions.position_space
+                    == expected.positions.position_space)
+            assert entry.distinct_texts >= expected.distinct_texts
+            for name, distinct in (
+                    expected.distinct_attribute_values.items()):
+                assert (entry.distinct_attribute_values[name]
+                        >= distinct)
+
+
+# -- the worker fleet (process-backed) -----------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_document():
+    return personnel_document(target_nodes=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def sharded(corpus_document):
+    with ShardedDatabase(corpus_document, shards=2) as database:
+        yield database
+
+
+def test_sharded_bindings_match_single_node(sharded, corpus_document,
+                                            chain_pattern):
+    single = Database.from_document(corpus_document)
+    plan = single.optimize(chain_pattern, algorithm="DPP").plan
+    reference = single.execute(plan, chain_pattern).canonical()
+    merged = sharded.execute(
+        sharded.optimize(chain_pattern, algorithm="DPP").plan,
+        chain_pattern)
+    assert merged.canonical() == reference
+    keys = [merge_key(row) for row in merged.tuples]
+    assert keys == sorted(keys), "merged output broke document order"
+
+
+def test_sharded_root_only_bindings_deduplicate(sharded):
+    # every shard replicates the root, so a root-only pattern is the
+    # one case where shards emit duplicate rows; the merge collapses
+    # them to exactly one
+    result = sharded.query("//company")
+    assert len(result.execution) == 1
+
+
+def test_worker_query_error_keeps_fleet_alive(sharded, chain_pattern):
+    plan = sharded.optimize(chain_pattern).plan
+    # a repro-typed worker failure re-raises under its original class
+    # (the coordinator validates engines, so go through the pool to
+    # reach the worker-side validation)
+    with pytest.raises(PlanError):
+        sharded.workers.scatter_gather(plan, chain_pattern,
+                                       "warp-drive")
+    # a non-repro worker exception (here: a plan referencing a
+    # pattern node that does not exist) surfaces as ShardError
+    with pytest.raises(ShardError):
+        sharded.execute(IndexScanPlan(99), chain_pattern)
+    # neither error kills the fleet: workers keep serving
+    assert not sharded.workers.closed
+    assert all(sharded.workers.alive())
+    assert len(sharded.query("//manager//employee").execution) > 0
+
+
+def test_sharded_explain_analyze_renders_scatter_gather(sharded):
+    report = sharded.explain("//manager//employee/name", analyze=True)
+    text = report.render()
+    assert "ShardScatterGather" in text
+    assert "shard[0]" in text and "shard[1]" in text
+
+
+def test_sharded_service_exports_per_shard_gauges(sharded):
+    sharded.query("//manager//employee")
+    exported = sharded.service.export_metrics("prometheus")
+    assert "repro_shard_nodes" in exported
+    assert 'shard="1"' in exported
+    assert "repro_shard_alive" in exported
+
+
+def test_crashed_worker_raises_shard_error_and_tears_down():
+    document = personnel_document(target_nodes=120)
+    with ShardedDatabase(document, shards=2) as database:
+        pattern = database.compile("//manager//employee")
+        plan = database.optimize(pattern).plan
+        assert len(database.execute(plan, pattern)) > 0
+        database.workers.crash_worker(1)
+        with pytest.raises(ShardError):
+            database.execute(plan, pattern)
+        # the pool tears itself down: no hung gather, no leaked
+        # processes, and further queries fail fast instead of hanging
+        assert database.workers.closed
+        assert not any(database.workers.alive())
+        with pytest.raises(ShardError):
+            database.execute(plan, pattern)
+        # teardown is idempotent
+        database.workers.close()
+        database.workers.close()
+
+
+def test_closed_sharded_database_fails_fast():
+    document = personnel_document(target_nodes=80)
+    database = ShardedDatabase(document, shards=1)
+    assert len(database.query("//manager").execution) > 0
+    database.close()
+    database.close()  # idempotent
+    with pytest.raises(ShardError):
+        database.query("//manager")
+    assert not any(database.workers.alive())
+
+
+# -- statistics epoch vs. the plan cache ---------------------------------
+
+
+def test_sharded_reload_bumps_every_epoch_and_serves_new_corpus():
+    small = personnel_document(target_nodes=120, seed=3)
+    big = personnel_document(target_nodes=400, seed=4)
+    with ShardedDatabase(small, shards=2) as database:
+        assert database.stats()["statistics_epoch"] == 2
+        before = len(database.query("//manager//employee").execution)
+        database.reload(big)
+        snapshot = database.stats()
+        assert snapshot["statistics_epoch"] == 4
+        assert snapshot["shards"]["epochs"] == [2, 2]
+        after = len(database.query("//manager//employee").execution)
+        reference = canonical_bindings(
+            Database.from_document(big)
+            .query("//manager//employee").execution.bindings())
+        assert after == len(reference)
+        assert after != before
+
+
+def test_database_stats_reports_statistics_epoch():
+    """Regression: ``Database.stats()`` must expose the statistics
+    epoch the plan cache is keyed on, and a reload must move it —
+    otherwise a caller watching stats() cannot tell cached plans were
+    invalidated."""
+    database = Database.from_document(
+        personnel_document(target_nodes=120))
+    snapshot = database.stats()
+    assert snapshot["statistics_epoch"] == database.statistics_epoch
+    before = snapshot["statistics_epoch"]
+    database.reload(personnel_document(target_nodes=160))
+    assert database.stats()["statistics_epoch"] > before
