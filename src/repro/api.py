@@ -649,7 +649,13 @@ class Database:
     # -- introspection ---------------------------------------------------------
 
     def statistics(self) -> dict[str, object]:
-        """Storage and data statistics for diagnostics."""
+        """Storage and data statistics for diagnostics.
+
+        Beyond the page counts, ``index`` carries the compressed
+        posting accounting: frame bytes on disk and decoded-block
+        resident bytes, totals plus per tag (see
+        :meth:`~repro.storage.tagindex.TagIndex.storage_stats`).
+        """
         document = self._require_document()
         return {
             "nodes": len(document),
@@ -659,4 +665,5 @@ class Database:
             "index_pages": self.index.page_count(),
             "disk_pages": self.disk.page_count,
             "buffer_capacity": self.pool.capacity,
+            "index": self.index.storage_stats(),
         }

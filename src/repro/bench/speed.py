@@ -8,9 +8,23 @@ on every run, and emits a machine-readable report.  Each cell also
 carries a per-operator breakdown (rows, wall time, cost-counter
 shares) from one extra traced run outside the timed loops — tracing
 is never enabled while timing.  The report is
-written as ``BENCH_PR2.json`` by ``python -m repro bench engines
+written as ``BENCH_PR7.json`` by ``python -m repro bench engines
 --json`` and tracked in CI, so every PR carries a comparable number
 for the hot path.
+
+Beyond the steady-state wall clocks, each cell measures the storage
+layer directly:
+
+* **cold-start** timings — the buffer pool is cleared and the posting
+  decode cache dropped before each timed run, so the number includes
+  page reads (zero-copy views under mmap/in-memory disks) and frame
+  decode.  This is the first-query latency a freshly attached reader
+  pays.
+* **memory** — ``tracemalloc``-measured heap deltas for decoding the
+  whole corpus into packed columns, and for the eager layout (Region
+  objects plus match rows forced for every tag — what every decode
+  cost before lazy blocks).  The ratio is the resident-memory saving
+  the compressed/lazy representation delivers.
 
 Timings are steady-state: each engine gets one warm-up execution (the
 block engine's warm-up also populates the posting decode cache — the
@@ -28,6 +42,8 @@ import gc
 import json
 import math
 import platform
+import time
+import tracemalloc
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -62,6 +78,76 @@ SPEED_WORKLOADS: tuple[SpeedWorkload, ...] = (
 )
 
 
+def _drop_storage_caches(database) -> None:
+    """Force the next read to hit disk: no decoded blocks, no frames."""
+    database.index.drop_caches()
+    database.pool.clear()
+
+
+def _measure_cold(database, plan, pattern, repeats: int
+                  ) -> dict[str, float]:
+    """First-query latency per engine: decode + page reads included.
+
+    Each timed run starts from dropped caches; the best of *repeats*
+    is reported (every run is genuinely cold — best-of only trims
+    scheduler noise, not cache effects).
+    """
+    cold: dict[str, float] = {}
+    for engine in ("tuple", "block"):
+        best = math.inf
+        for _ in range(repeats):
+            _drop_storage_caches(database)
+            gc.collect()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                database.execute(plan, pattern, engine=engine)
+                best = min(best, time.perf_counter() - started)
+            finally:
+                gc.enable()
+        cold[engine] = best
+    return cold
+
+
+def _measure_memory(database) -> dict[str, object]:
+    """Measured heap bytes for the packed vs eager corpus layouts.
+
+    Decodes every tag from dropped caches under ``tracemalloc`` and
+    reads the traced size (packed columns only), then forces the
+    Region objects and match rows every decode used to build eagerly
+    and reads it again.  Both numbers are *measured* allocations, not
+    estimates; ``compressed_bytes`` (frame bytes on disk) comes from
+    the frame headers.
+    """
+    index = database.index
+    _drop_storage_caches(database)
+    gc.collect()
+    tracemalloc.start()
+    try:
+        blocks = [index.scan_blocks(tag) for tag in index.tags()]
+        packed_bytes, _ = tracemalloc.get_traced_memory()
+        for block in blocks:
+            block.rows  # forces regions + rows, the pre-lazy layout
+        eager_bytes, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    postings = sum(len(block) for block in blocks)
+    stats = index.storage_stats()
+    # leave the database as the decode-only state for later callers
+    _drop_storage_caches(database)
+    return {
+        "postings": postings,
+        "compressed_bytes": stats["compressed_bytes"],
+        "packed_resident_bytes": packed_bytes,
+        "eager_resident_bytes": eager_bytes,
+        "memory_ratio": eager_bytes / max(packed_bytes, 1),
+        # 12 = bytes/posting in the old slotted encoding (10-byte
+        # <IIH record + 2-byte slot pointer)
+        "compression_ratio": (postings * 12
+                              / max(stats["compressed_bytes"], 1)),
+    }
+
+
 def measure_workload(spec: SpeedWorkload, setup: ExperimentSetup,
                      repeats: int = 3) -> dict[str, object]:
     """Time one workload under both engines and compare counters."""
@@ -70,6 +156,7 @@ def measure_workload(spec: SpeedWorkload, setup: ExperimentSetup,
     query = paper_query(spec.query)
     database.warm_statistics(query.pattern)
     plan = database.optimize(query.pattern, algorithm="DPP").plan
+    cold = _measure_cold(database, plan, query.pattern, repeats)
     seconds: dict[str, float] = {}
     counters: dict[str, dict[str, float]] = {}
     result_count = 0
@@ -105,6 +192,7 @@ def measure_workload(spec: SpeedWorkload, setup: ExperimentSetup,
         "simulated_cost": node.simulated_cost,
         "counters": dict(node.counters),
     } for node in analysis.walk()]
+    memory = _measure_memory(database)
     return {
         "workload": spec.name,
         "dataset": spec.dataset,
@@ -115,6 +203,10 @@ def measure_workload(spec: SpeedWorkload, setup: ExperimentSetup,
         "tuple_seconds": seconds["tuple"],
         "block_seconds": seconds["block"],
         "speedup": seconds["tuple"] / max(seconds["block"], 1e-12),
+        "cold_tuple_seconds": cold["tuple"],
+        "cold_block_seconds": cold["block"],
+        "cold_speedup": cold["tuple"] / max(cold["block"], 1e-12),
+        "memory": memory,
         "counters_match": counters["tuple"] == counters["block"],
         "counters": counters["block"],
         "operators": operators,
@@ -125,15 +217,23 @@ def engine_speed_report(setup: ExperimentSetup | None = None,
                         repeats: int = 3,
                         workloads: Sequence[SpeedWorkload] =
                         SPEED_WORKLOADS) -> dict[str, object]:
-    """The full benchmark report (the ``BENCH_PR2.json`` payload)."""
+    """The full benchmark report (the ``BENCH_PR7.json`` payload)."""
     setup = setup or ExperimentSetup()
     cells = [measure_workload(spec, setup, repeats=repeats)
              for spec in workloads]
     speedups = [cell["speedup"] for cell in cells]
+    cold_speedups = [cell["cold_speedup"] for cell in cells]
+    memory_ratios = [cell["memory"]["memory_ratio"] for cell in cells]
+
+    def _geomean(values: list[float]) -> float:
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
     return {
-        "benchmark": "BENCH_PR2",
+        "benchmark": "BENCH_PR7",
         "description": "block vs tuple engine wall-clock on paper "
-                       "workloads (best of N, warm caches)",
+                       "workloads (best of N, warm caches), plus "
+                       "cold-start latency from dropped caches and "
+                       "measured packed-vs-eager resident memory",
         "python": platform.python_version(),
         "repeats": repeats,
         "setup": {
@@ -146,10 +246,13 @@ def engine_speed_report(setup: ExperimentSetup | None = None,
         "summary": {
             "hot_case": cells[0]["workload"],
             "hot_case_speedup": cells[0]["speedup"],
-            "geomean_speedup": math.exp(
-                sum(math.log(s) for s in speedups) / len(speedups)),
+            "geomean_speedup": _geomean(speedups),
             "min_speedup": min(speedups),
             "max_speedup": max(speedups),
+            "cold_hot_case_speedup": cells[0]["cold_speedup"],
+            "cold_geomean_speedup": _geomean(cold_speedups),
+            "memory_ratio_geomean": _geomean(memory_ratios),
+            "memory_ratio_min": min(memory_ratios),
             "all_counters_match": all(cell["counters_match"]
                                       for cell in cells),
         },
@@ -160,9 +263,11 @@ def render_report(report: dict[str, object]) -> str:
     """Human-readable table of one report."""
     lines = [
         "Engine speed: block vs tuple "
-        f"(best of {report['repeats']}, warm caches)",
+        f"(best of {report['repeats']}, warm caches; cold = dropped "
+        "buffer pool + decode cache)",
         f"{'workload':26s} {'nodes':>7s} {'results':>8s} "
-        f"{'tuple ms':>9s} {'block ms':>9s} {'speedup':>8s} counters",
+        f"{'tuple ms':>9s} {'block ms':>9s} {'speedup':>8s} "
+        f"{'cold ms':>8s} {'mem x':>6s} counters",
     ]
     for cell in report["workloads"]:
         lines.append(
@@ -171,11 +276,15 @@ def render_report(report: dict[str, object]) -> str:
             f"{cell['tuple_seconds'] * 1e3:>9.2f} "
             f"{cell['block_seconds'] * 1e3:>9.2f} "
             f"{cell['speedup']:>7.2f}x "
+            f"{cell['cold_block_seconds'] * 1e3:>8.2f} "
+            f"{cell['memory']['memory_ratio']:>5.1f}x "
             f"{'match' if cell['counters_match'] else 'MISMATCH'}")
     summary = report["summary"]
     lines.append(
-        f"geomean {summary['geomean_speedup']:.2f}x, hot case "
+        f"geomean {summary['geomean_speedup']:.2f}x warm / "
+        f"{summary['cold_geomean_speedup']:.2f}x cold, hot case "
         f"{summary['hot_case']} {summary['hot_case_speedup']:.2f}x, "
+        f"eager/packed memory {summary['memory_ratio_geomean']:.1f}x, "
         f"counters {'all match' if summary['all_counters_match'] else 'MISMATCH'}")
     return "\n".join(lines)
 

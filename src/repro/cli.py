@@ -200,7 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timed runs per engine ('engines' only)")
     bench.add_argument("--json", metavar="FILE", default=None,
                        help="also write the report as JSON "
-                            "('engines' only; e.g. BENCH_PR2.json)")
+                            "('engines' only; e.g. BENCH_PR7.json)")
     bench.add_argument("--shards", action="store_true",
                        help="with 'engines': measure the sharded "
                             "scatter-gather scaling curve (shard "

@@ -49,6 +49,7 @@ from typing import Callable, Sequence
 
 from repro.errors import PlanError
 from repro.core.pattern import Axis, PatternNode
+from repro.document.node import Region
 from repro.engine.context import EngineContext
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.nestedloop import _related
@@ -132,19 +133,47 @@ class TupleBlock:
     ``shared`` marks row lists borrowed from the decode cache (leaf
     scans without predicates); anything exposing rows to callers must
     copy a shared list instead of handing it out.
+
+    Leaf blocks may be built with ``rows_factory`` instead of a row
+    list: the match tuples materialize on first ``rows`` access, so an
+    operator that only probes the block's pre-set
+    :class:`ColumnGroups` — bisect skip-ahead over packed columns —
+    never creates a Python object per posting.  ``length`` carries the
+    row count while rows are unmaterialized.
     """
 
-    __slots__ = ("schema", "rows", "shared", "_groups")
+    __slots__ = ("schema", "shared", "_groups", "_rows",
+                 "_rows_factory", "_length")
 
-    def __init__(self, schema: Schema, rows: list[MatchTuple],
-                 shared: bool = False) -> None:
+    def __init__(self, schema: Schema,
+                 rows: list[MatchTuple] | None = None,
+                 shared: bool = False,
+                 rows_factory: Callable[[], list[MatchTuple]] | None = None,
+                 length: int | None = None) -> None:
+        if rows is None and rows_factory is None:
+            raise PlanError("TupleBlock needs rows or a rows_factory")
         self.schema = schema
-        self.rows = rows
         self.shared = shared
+        self._rows = rows
+        self._rows_factory = rows_factory
+        self._length = len(rows) if rows is not None else length
         self._groups: dict[int, ColumnGroups] = {}
 
+    @property
+    def rows(self) -> list[MatchTuple]:
+        """The block's match tuples (materialized on first access)."""
+        rows = self._rows
+        if rows is None:
+            assert self._rows_factory is not None
+            rows = self._rows_factory()
+            self._rows = rows
+            self._length = len(rows)
+        return rows
+
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._length is None:
+            return len(self.rows)
+        return self._length
 
     def grouped(self, node_id: int,
                 label: str = "input") -> ColumnGroups:
@@ -187,7 +216,7 @@ class BlockOperator:
         started = time.perf_counter()
         block = self._produce()
         span.seconds += time.perf_counter() - started
-        span.output_rows = len(block.rows)
+        span.output_rows = len(block)
         return block
 
     def describe(self) -> str:
@@ -227,7 +256,12 @@ class BlockIndexScan(BlockOperator):
         self.metrics.index_items += len(postings)
         node_id = self.pattern_node.node_id
         if not self.pattern_node.predicates:
-            block = TupleBlock(self.schema, postings.rows, shared=True)
+            # lazy: downstream bisect probes run over the packed
+            # columns alone; match tuples materialize only if a
+            # consumer (join emission, final result) touches rows
+            block = TupleBlock(self.schema,
+                               rows_factory=lambda: postings.rows,
+                               shared=True, length=len(postings))
             block._groups[node_id] = ColumnGroups(
                 postings.starts, postings.ends, postings.levels,
                 range(len(postings) + 1))
@@ -237,11 +271,19 @@ class BlockIndexScan(BlockOperator):
         starts: list[int] = []
         ends: list[int] = []
         levels: list[int] = []
-        all_rows = postings.rows
-        for position, region in enumerate(postings.regions):
-            if matches(region):
-                rows.append(all_rows[position])
-                starts.append(region.start)
+        # probe the packed start column; the tag's cached Region list
+        # materializes only when the predicate first matches, and is
+        # then reused across executions
+        col_starts = postings.starts
+        regions: Sequence[Region] | None = None
+        for position in range(len(postings)):
+            start = col_starts[position]
+            if matches(start):
+                if regions is None:
+                    regions = postings.regions
+                region = regions[position]
+                rows.append((region,))
+                starts.append(start)
                 ends.append(region.end)
                 levels.append(region.level)
         block = TupleBlock(self.schema, rows)
@@ -249,7 +291,7 @@ class BlockIndexScan(BlockOperator):
             starts, ends, levels, range(len(rows) + 1))
         return block
 
-    def _matcher(self) -> Callable[[object], bool]:
+    def _matcher(self) -> Callable[[int], bool]:
         pattern_node = self.pattern_node
         context = self.context
         if context.document is not None:
@@ -259,7 +301,7 @@ class BlockIndexScan(BlockOperator):
         else:
             raise PlanError(
                 "predicate evaluation needs a document or element store")
-        return lambda region: pattern_node.matches(lookup(region.start))
+        return lambda start: pattern_node.matches(lookup(start))
 
 
 class BlockSort(BlockOperator):
@@ -276,7 +318,7 @@ class BlockSort(BlockOperator):
     def _produce(self) -> TupleBlock:
         child_block = self.child.block()
         position = self.schema.position(self.by_node)
-        self.metrics.record_sort(len(child_block.rows))
+        self.metrics.record_sort(len(child_block))
         rows = sorted(child_block.rows,
                       key=lambda match: match[position].start)
         return TupleBlock(self.schema, rows)

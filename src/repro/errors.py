@@ -46,6 +46,14 @@ class BufferPoolError(StorageError):
     """Buffer pool misuse (e.g. all frames pinned, double unpin)."""
 
 
+class PageFormatError(StorageError):
+    """A page's bytes are not a valid posting frame.
+
+    Raised instead of decoding garbage when a posting chain points at
+    a page in an unknown or older on-disk format (bad magic, bad
+    version, or a header whose lengths do not fit the page)."""
+
+
 class PatternError(ReproError):
     """A query pattern is malformed (cycle, disconnected, bad reference)."""
 

@@ -344,6 +344,29 @@ class QueryService:
             registry.gauge("repro_buffer_pool_resident_pages",
                            "Pages resident in the buffer pool"
                            ).set(len(pool))
+            registry.gauge("repro_buffer_pool_view_misses",
+                           "Pool misses served as zero-copy disk views"
+                           ).set(pool.stats.view_misses)
+        index = getattr(self.database, "index", None)
+        if index is not None and hasattr(index, "storage_stats"):
+            storage = index.storage_stats()
+            compressed_gauge = registry.gauge(
+                "repro_index_compressed_bytes",
+                "Compressed posting-frame bytes on disk, per tag")
+            decoded_gauge = registry.gauge(
+                "repro_index_decoded_bytes",
+                "Decoded posting-block resident bytes, per tag")
+            for tag, entry in storage["per_tag"].items():
+                compressed_gauge.set(entry["compressed_bytes"], tag=tag)
+                decoded_gauge.set(entry["decoded_bytes"], tag=tag)
+            registry.gauge(
+                "repro_index_compressed_bytes_total",
+                "Compressed posting-frame bytes on disk"
+            ).set(storage["compressed_bytes"])
+            registry.gauge(
+                "repro_index_decoded_bytes_total",
+                "Decoded posting-block resident bytes"
+            ).set(storage["decoded_bytes"])
         manager = getattr(self.database, "_txn_manager", None)
         if manager is not None:
             txn_gauge = registry.gauge(

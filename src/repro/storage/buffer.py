@@ -35,11 +35,14 @@ class BufferStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: misses served as zero-copy disk views (no frame populated).
+    view_misses: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.view_misses = 0
 
     @property
     def accesses(self) -> int:
@@ -89,6 +92,46 @@ class BufferPool:
                 self._frames[page_id] = frame
             frame.pin_count += 1
             return frame.page
+
+    def fetch_view(self, page_id: int) -> memoryview:
+        """The page's bytes as a read-only snapshot, zero-copy if safe.
+
+        The read-path decision table:
+
+        * **resident frame** (clean or dirty) — the pool copy is the
+          truth (it may be newer than disk); served as a copy of the
+          frame bytes, counted as a hit.  Dirty or WAL-managed pages
+          therefore always take this path: they are resident until
+          write-back.
+        * **not resident, disk supports views** — served as a
+          zero-copy ``memoryview`` straight off the disk image (mmap
+          for :class:`~repro.storage.disk.FileDisk`); no frame is
+          populated, so bulk decodes do not evict the working set.
+          Correctness leans on the eviction invariant: a dirty page is
+          only ever dropped after write-back, so a non-resident page's
+          latest bytes are always on disk.
+        * **not resident, no view support** — the page is read and
+          cached like :meth:`fetch` (unpinned) and a copy is returned.
+
+        Unlike :meth:`fetch` there is no pin to release, which is what
+        makes this the right primitive for whole-page columnar
+        decodes.
+        """
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return memoryview(bytes(frame.page.data))
+            self.stats.misses += 1
+            view = self.disk.read_view(page_id)
+            if view is not None:
+                self.stats.view_misses += 1
+                return view
+            self._ensure_capacity()
+            frame = _Frame(self.disk.read_page(page_id))
+            self._frames[page_id] = frame
+            return memoryview(bytes(frame.page.data))
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
         """Release one pin; mark the page dirty if it was modified."""

@@ -14,6 +14,7 @@ pool sits on top and adds hit/miss accounting.
 
 from __future__ import annotations
 
+import mmap
 import os
 from dataclasses import dataclass
 
@@ -28,18 +29,23 @@ class IOStats:
     reads: int = 0
     writes: int = 0
     allocations: int = 0
+    #: subset of ``reads`` served as zero-copy views (mmap or
+    #: in-memory buffer) instead of a page copy.
+    view_reads: int = 0
 
     def reset(self) -> None:
         self.reads = 0
         self.writes = 0
         self.allocations = 0
+        self.view_reads = 0
 
     @property
     def total(self) -> int:
         return self.reads + self.writes
 
     def snapshot(self) -> "IOStats":
-        return IOStats(self.reads, self.writes, self.allocations)
+        return IOStats(self.reads, self.writes, self.allocations,
+                       self.view_reads)
 
 
 class DiskManager:
@@ -54,6 +60,18 @@ class DiskManager:
 
     def read_page(self, page_id: int) -> Page:
         raise NotImplementedError
+
+    def read_view(self, page_id: int) -> memoryview | None:
+        """A read-only view of the page's bytes, without a copy.
+
+        Returns ``None`` when this manager cannot serve views (the
+        caller then falls back to :meth:`read_page`); implementations
+        that can — an mmap'd file, an in-memory image — return a
+        :class:`memoryview` whose contents are a consistent snapshot
+        of the page *at call time*.  Callers must treat the view as
+        immutable and should decode promptly rather than hold it.
+        """
+        return None
 
     def write_page(self, page: Page) -> None:
         raise NotImplementedError
@@ -107,6 +125,16 @@ class InMemoryDisk(DiskManager):
         self.stats.reads += 1
         return Page(page_id, bytearray(self._pages[page_id]))
 
+    def read_view(self, page_id: int) -> memoryview | None:
+        image = self._pages.get(page_id)
+        if image is None:
+            raise StorageError(f"page {page_id} was never allocated")
+        self.stats.reads += 1
+        self.stats.view_reads += 1
+        # page images are immutable bytes (write_page swaps the whole
+        # object), so the view is a zero-copy consistent snapshot
+        return memoryview(image)
+
     def write_page(self, page: Page) -> None:
         if page.page_id not in self._pages:
             raise StorageError(f"page {page.page_id} was never allocated")
@@ -120,9 +148,19 @@ class InMemoryDisk(DiskManager):
 
 
 class FileDisk(DiskManager):
-    """Disk manager backed by a single file of fixed-size pages."""
+    """Disk manager backed by a single file of fixed-size pages.
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    With ``mmap_reads`` (the default) the file is also mapped
+    read-only and :meth:`read_view` serves pages as zero-copy
+    ``memoryview`` slices of the mapping; the map is rebuilt lazily
+    whenever the file has grown past it.  Buffered writes are flushed
+    to the OS before a view is handed out, so a view always reflects
+    every completed :meth:`write_page` (the mapping shares the kernel
+    page cache with the write path).
+    """
+
+    def __init__(self, path: str | os.PathLike[str],
+                 mmap_reads: bool = True) -> None:
         super().__init__()
         self._path = os.fspath(path)
         exists = os.path.exists(self._path)
@@ -134,6 +172,10 @@ class FileDisk(DiskManager):
                 f"{self._path} is not a whole number of pages")
         self._next_page_id = size // PAGE_SIZE
         self._closed = False
+        self._mmap_reads = mmap_reads
+        self._map: mmap.mmap | None = None
+        self._map_pages = 0
+        self._flushed = True
 
     def allocate(self) -> int:
         self._check_open()
@@ -142,6 +184,7 @@ class FileDisk(DiskManager):
         self._file.seek(page_id * PAGE_SIZE)
         self._file.write(bytes(PAGE_SIZE))
         self.stats.allocations += 1
+        self._flushed = False
         return page_id
 
     def read_page(self, page_id: int) -> Page:
@@ -166,7 +209,51 @@ class FileDisk(DiskManager):
         self._file.seek(page.page_id * PAGE_SIZE)
         self._file.write(page.to_bytes())
         self.stats.writes += 1
+        self._flushed = False
         page.dirty = False
+
+    def read_view(self, page_id: int) -> memoryview | None:
+        self._check_open()
+        if not self._mmap_reads:
+            return None
+        if not 0 <= page_id < self._next_page_id:
+            raise StorageError(f"page {page_id} was never allocated")
+        if not self._flushed:
+            # push buffered writes into the page cache the map reads
+            self._file.flush()
+            self._flushed = True
+        if page_id >= self._map_pages:
+            self._remap()
+            if page_id >= self._map_pages:  # pragma: no cover - race guard
+                return None
+        self.stats.reads += 1
+        self.stats.view_reads += 1
+        offset = page_id * PAGE_SIZE
+        return memoryview(self._map)[offset:offset + PAGE_SIZE]
+
+    def _remap(self) -> None:
+        size = os.fstat(self._file.fileno()).st_size
+        pages = size // PAGE_SIZE
+        if pages == self._map_pages:
+            return
+        self._drop_map()
+        if pages:
+            self._map = mmap.mmap(self._file.fileno(),
+                                  pages * PAGE_SIZE,
+                                  access=mmap.ACCESS_READ)
+            self._map_pages = pages
+
+    def _drop_map(self) -> None:
+        if self._map is not None:
+            # exported memoryviews keep the old map's buffer alive;
+            # close() on an exported mmap raises, so just drop the
+            # reference and let refcounting reclaim it
+            try:
+                self._map.close()
+            except BufferError:
+                pass
+            self._map = None
+            self._map_pages = 0
 
     @property
     def page_count(self) -> int:
@@ -175,10 +262,12 @@ class FileDisk(DiskManager):
     def sync(self) -> None:
         self._check_open()
         self._file.flush()
+        self._flushed = True
         os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if not self._closed:
+            self._drop_map()
             self._file.close()
             self._closed = True
 

@@ -2,41 +2,50 @@
 
 This is the access method behind the paper's "index access" operation
 (cost ``f_I * n`` for retrieving *n* items, Sec. 2.2.2).  Each posting
-entry carries the full region encoding ``(start, end, level)`` plus the
-node id, so a structural join can run off index output alone; the
-element store is consulted only when a value predicate needs the
-element's text or attributes.
+entry carries the full region encoding ``(start, end, level)``, so a
+structural join can run off index output alone; the element store is
+consulted only when a value predicate needs the element's text or
+attributes.
 
-Posting lists are stored in pages (one chain of pages per tag, entries
-in document order) and read back through the buffer pool, so every
-index scan is visible to the I/O counters.
+Posting lists are stored as **compressed columnar frames** (one frame
+per page, delta-encoded and byte-packed — see
+:mod:`repro.storage.frames`), one chain of pages per tag with entries
+in document order.  Pages are read through the buffer pool's
+zero-copy :meth:`~repro.storage.buffer.BufferPool.fetch_view`, so
+every index scan is visible to the I/O counters while a cold decode
+touches the page bytes exactly once (no record lists, no per-entry
+unpack).
 
 Two read paths exist:
 
-* :meth:`TagIndex.scan` — the tuple engine's iterator: fetches pages
-  and unpacks one entry per ``next()``.
+* :meth:`TagIndex.scan` — the tuple engine's iterator: decodes one
+  page at a time and yields a :class:`Region` per entry.
 * :meth:`TagIndex.scan_blocks` — the block engine's columnar path:
-  decodes each page of a chain exactly once (``_ENTRY.iter_unpack``
-  over the page's concatenated records) into a
-  :class:`~repro.storage.postings.RegionBlock` and caches the block
-  until the index mutates.  ``decode_epoch`` counts those
+  bulk-decodes each page of a chain exactly once into a *lazy*
+  :class:`~repro.storage.postings.RegionBlock` (packed columns only;
+  Region objects and match rows materialize on demand) and caches the
+  block until the index mutates.  ``decode_epoch`` counts those
   invalidations; :meth:`~repro.api.Database.reload` discards the whole
   index, so stale blocks can never serve a reloaded document.
 """
 
 from __future__ import annotations
 
-import struct
-from operator import attrgetter
+from array import array
 from typing import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.document.document import XmlDocument
 from repro.document.node import NodeRecord, Region
 from repro.storage.buffer import BufferPool
+from repro.storage.frames import (FrameHeader, pack_frames, peek_header,
+                                  unpack_frame)
+from repro.storage.pages import PAGE_SIZE
 from repro.storage.postings import RegionBlock
 
-_ENTRY = struct.Struct("<IIH")
+#: tail frames at or above this fill fraction are left alone on
+#: append — new postings start a fresh page instead of a repack.
+_TAIL_MERGE_FILL = 0.9
 
 
 class TagIndex:
@@ -47,13 +56,18 @@ class TagIndex:
         # tag -> list of page ids holding that tag's postings, in order.
         self._page_chains: dict[str, list[int]] = {}
         self._counts: dict[str, int] = {}
-        # tail page of each tag's chain, for appends.
-        self._tail: dict[str, int] = {}
         # sorted tag listing, rebuilt only when a chain appears.
         self._sorted_tags: tuple[str, ...] | None = None
         # decoded posting blocks, per tag plus the all-tags merge.
         self._blocks: dict[str, RegionBlock] = {}
         self._merged_block: RegionBlock | None = None
+        # per-tag compressed bytes on disk, filled lazily from frame
+        # headers and dropped whenever the tag's chain changes.
+        self._compressed: dict[str, int] = {}
+        # False on copy-on-write clones: their chains share pages with
+        # the published index, so appends must never repack a tail
+        # page in place.
+        self._mergeable_tail = True
         #: bumped whenever cached decoded blocks are invalidated.
         self.decode_epoch = 0
 
@@ -71,57 +85,95 @@ class TagIndex:
     def add_many(self, nodes: Iterable[NodeRecord]) -> int:
         """Append postings in bulk; returns the number added.
 
-        The tail page of the active tag stays pinned across consecutive
-        postings of the same tag, so a bulk build pays one buffer-pool
-        round trip per page transition instead of one per posting.
-        Document order is still enforced per tag, and any cached
-        decoded block of a touched tag is invalidated.
+        Postings are buffered per tag for the duration of the call and
+        flushed as compressed frames in one pass per touched tag: a
+        document build repacks each tag's tail frame at most once
+        instead of once per posting.  Document order is still enforced
+        per tag — against the tail frame's max-start fence for the
+        first new posting (one header peek, no decode) — and any
+        cached decoded block of a touched tag is invalidated.  A
+        rejected posting aborts the whole call before any page is
+        touched.
         """
+        pending: dict[str, tuple[list[int], list[int], list[int]]] = {}
+        last_start: dict[str, int] = {}
+        for node in nodes:
+            tag = node.tag
+            last = last_start.get(tag)
+            if last is None:
+                last = self._tail_fence(tag)
+            if last >= node.start:
+                raise StorageError(
+                    "postings must be added in document order")
+            run = pending.get(tag)
+            if run is None:
+                run = pending[tag] = ([], [], [])
+            run[0].append(node.start)
+            run[1].append(node.end)
+            run[2].append(node.level)
+            last_start[tag] = node.start
         added = 0
-        tag: str | None = None
-        page = None  # pinned tail page of `tag` while the run lasts
-        last_start = -1
-        try:
-            for node in nodes:
-                if node.tag != tag:
-                    if page is not None:
-                        self.pool.unpin(page.page_id, dirty=True)
-                        page = None
-                    tag = node.tag
-                    tail_id = self._tail.get(tag)
-                    if tail_id is not None:
-                        page = self.pool.fetch(tail_id)
-                        last = page.record(page.slot_count - 1)
-                        last_start = _ENTRY.unpack(last)[0]
-                    else:
-                        last_start = -1
-                if last_start >= node.start:
-                    raise StorageError(
-                        "postings must be added in document order")
-                payload = _ENTRY.pack(node.start, node.end, node.level)
-                if page is not None and page.free_space < len(payload):
-                    self.pool.unpin(page.page_id, dirty=True)
-                    page = None
-                if page is None:
-                    page = self.pool.new_page()
-                    chain = self._page_chains.setdefault(tag, [])
-                    if not chain:
-                        self._sorted_tags = None
-                    chain.append(page.page_id)
-                    self._tail[tag] = page.page_id
-                page.insert(payload)
-                last_start = node.start
-                self._counts[tag] = self._counts.get(tag, 0) + 1
-                if self._blocks or self._merged_block is not None:
-                    self._blocks.pop(tag, None)
-                    self._merged_block = None
-                added += 1
-        finally:
-            if page is not None:
-                self.pool.unpin(page.page_id, dirty=True)
+        for tag, (starts, ends, levels) in pending.items():
+            self._append_tag(tag, starts, ends, levels)
+            self._counts[tag] = self._counts.get(tag, 0) + len(starts)
+            if self._blocks or self._merged_block is not None:
+                self._blocks.pop(tag, None)
+                self._merged_block = None
+            added += len(starts)
         if added:
             self.decode_epoch += 1
         return added
+
+    def _tail_fence(self, tag: str) -> int:
+        """Max start already stored for *tag* (-1 if none)."""
+        chain = self._page_chains.get(tag)
+        if not chain:
+            return -1
+        header = self._header(chain[-1])
+        return header.max_start if header.count else -1
+
+    def _header(self, page_id: int) -> FrameHeader:
+        """One page's frame header (fences, count, byte length)."""
+        return peek_header(self.pool.fetch_view(page_id))
+
+    def _append_tag(self, tag: str, starts: list[int], ends: list[int],
+                    levels: list[int]) -> None:
+        """Flush one tag's buffered postings into its chain.
+
+        The tail frame is merged and repacked unless it is already
+        nearly full; repacked and overflow frames land in the tail
+        page plus however many fresh pages the packing needs.
+        """
+        chain = self._page_chains.setdefault(tag, [])
+        if not chain:
+            self._sorted_tags = None
+        tail_id = None
+        if chain and self._mergeable_tail:
+            header = self._header(chain[-1])
+            if header.length < PAGE_SIZE * _TAIL_MERGE_FILL:
+                tail_id = chain[-1]
+                old_starts, old_ends, old_levels = unpack_frame(
+                    self.pool.fetch_view(tail_id))
+                old_starts.extend(starts)
+                old_ends.extend(ends)
+                old_levels.extend(levels)
+                starts, ends, levels = old_starts, old_ends, old_levels
+        frames = pack_frames(starts, ends, levels)
+        for index, frame in enumerate(frames):
+            if index == 0 and tail_id is not None:
+                page = self.pool.fetch(tail_id)
+            else:
+                page = self.pool.new_page()
+                chain.append(page.page_id)
+            self._store_frame(page, frame)
+        self._compressed.pop(tag, None)
+
+    def _store_frame(self, page, frame: bytes) -> None:
+        """Write *frame* at the front of a pinned page and release it."""
+        page.data[:len(frame)] = frame
+        if len(frame) < PAGE_SIZE:
+            page.data[len(frame):] = bytes(PAGE_SIZE - len(frame))
+        self.pool.unpin(page.page_id, dirty=True)
 
     # -- read ----------------------------------------------------------------
 
@@ -137,21 +189,16 @@ class TagIndex:
     def scan(self, tag: str) -> Iterator[Region]:
         """Yield the postings of *tag* in document order."""
         for page_id in self._page_chains.get(tag, ()):
-            page = self.pool.fetch(page_id)
-            try:
-                payloads = page.records()
-            finally:
-                self.pool.unpin(page_id)
-            for payload in payloads:
-                start, end, level = _ENTRY.unpack(payload)
-                yield Region(start, end, level)
+            starts, ends, levels = unpack_frame(
+                self.pool.fetch_view(page_id))
+            yield from map(Region, starts, ends, levels)
 
     def scan_blocks(self, tag: str) -> RegionBlock:
         """The postings of *tag* as one cached columnar block.
 
         The first call per epoch decodes the tag's page chain — each
-        page read once, all entries unpacked in one
-        ``_ENTRY.iter_unpack`` pass — and caches the result; later
+        page read once as a zero-copy view, each frame bulk-unpacked
+        into packed columns — and caches the (lazy) block; later
         calls return the same block without touching the pool.
         """
         block = self._blocks.get(tag)
@@ -163,27 +210,55 @@ class TagIndex:
     def scan_blocks_all(self) -> RegionBlock:
         """All postings of every tag, merged in document order.
 
-        This is the wildcard-scan candidate set; the merge is cached
-        alongside the per-tag blocks.
+        This is the wildcard-scan candidate set; the merge runs over
+        the packed columns (an index argsort on the start column) —
+        no Region is materialized — and is cached alongside the
+        per-tag blocks.
         """
         if self._merged_block is None:
-            regions: list[Region] = []
+            starts = array("I")
+            ends = array("I")
+            levels = array("H")
             for tag in self.tags():
-                regions.extend(self.scan_blocks(tag).regions)
-            regions.sort(key=attrgetter("start"))
-            self._merged_block = RegionBlock.from_regions("*", regions)
+                block = self.scan_blocks(tag)
+                starts.extend(block.starts)
+                ends.extend(block.ends)
+                levels.extend(block.levels)
+            order = sorted(range(len(starts)), key=starts.__getitem__)
+            self._merged_block = RegionBlock.from_columns(
+                "*",
+                array("I", map(starts.__getitem__, order)),
+                array("I", map(ends.__getitem__, order)),
+                array("H", map(levels.__getitem__, order)))
         return self._merged_block
 
     def _decode_chain(self, tag: str) -> RegionBlock:
-        entries: list[tuple[int, int, int]] = []
-        for page_id in self._page_chains.get(tag, ()):
-            page = self.pool.fetch(page_id)
-            try:
-                payload = b"".join(page.records())
-            finally:
-                self.pool.unpin(page_id)
-            entries.extend(_ENTRY.iter_unpack(payload))
-        return RegionBlock.from_entries(tag, entries)
+        chain = self._page_chains.get(tag, ())
+        if len(chain) == 1:
+            starts, ends, levels = unpack_frame(
+                self.pool.fetch_view(chain[0]))
+            return RegionBlock.from_columns(tag, starts, ends, levels)
+        starts = array("I")
+        ends = array("I")
+        levels = array("H")
+        for page_id in chain:
+            page_starts, page_ends, page_levels = unpack_frame(
+                self.pool.fetch_view(page_id))
+            starts.extend(page_starts)
+            ends.extend(page_ends)
+            levels.extend(page_levels)
+        return RegionBlock.from_columns(tag, starts, ends, levels)
+
+    def drop_caches(self) -> None:
+        """Discard every cached decoded block (cold-start simulation).
+
+        Benchmarks use this to measure the decode-inclusive cost of a
+        first query; the epoch bump keeps any block handed out earlier
+        distinguishable from a re-decode.
+        """
+        self._blocks.clear()
+        self._merged_block = None
+        self.decode_epoch += 1
 
     def regions(self, tag: str) -> list[Region]:
         """The full posting list of *tag* as a list."""
@@ -205,17 +280,18 @@ class TagIndex:
 
         Page chains are shared until :meth:`apply_edits` repacks a
         touched run into fresh pages; untouched tags keep their pages
-        *and* their cached decoded blocks.  The clone's tail map is
-        emptied so a stray :meth:`add_many` can never write into a page
-        the published index still references.
+        *and* their cached decoded blocks.  The clone's tail frames
+        are marked non-mergeable, so a stray :meth:`add_many` can
+        never rewrite a page the published index still references.
         """
         clone = TagIndex(self.pool)
         clone._page_chains = {tag: list(chain)
                               for tag, chain in self._page_chains.items()}
         clone._counts = dict(self._counts)
-        clone._tail = {}
         clone._blocks = dict(self._blocks)
         clone._merged_block = self._merged_block
+        clone._compressed = dict(self._compressed)
+        clone._mergeable_tail = False
         clone.decode_epoch = self.decode_epoch
         return clone
 
@@ -228,11 +304,11 @@ class TagIndex:
         ``edits`` maps each touched tag to ``(removed_starts,
         added_entries)`` where entries are ``(start, end, level)``
         tuples.  For each tag the page run covering the edited key
-        range is located via first-entry fences, decoded, spliced, and
-        repacked into *fresh* pages; pages outside the run — and every
-        page of an untouched tag — are shared with the pre-edit index,
-        so snapshots taken before the edit keep reading a consistent
-        chain.
+        range is located via the frames' min-start fences, decoded,
+        spliced, and repacked into *fresh* pages; pages outside the
+        run — and every page of an untouched tag — are shared with the
+        pre-edit index, so snapshots taken before the edit keep
+        reading a consistent chain.
         """
         for tag, (removed_starts, added_entries) in edits.items():
             if not removed_starts and not added_entries:
@@ -242,6 +318,7 @@ class TagIndex:
             self._blocks.pop(tag, None)
             self._merged_block = None
             self._sorted_tags = None
+            self._compressed.pop(tag, None)
         self.decode_epoch += 1
 
     def _splice_tag(self, tag: str, removed: set[int],
@@ -269,16 +346,12 @@ class TagIndex:
                     break
             run = chain[first:last + 1]
         else:
-            fences = []
             first, last, run = 0, -1, []
         entries: list[tuple[int, int, int]] = []
         for page_id in run:
-            page = self.pool.fetch(page_id)
-            try:
-                payload = b"".join(page.records())
-            finally:
-                self.pool.unpin(page_id)
-            entries.extend(_ENTRY.iter_unpack(payload))
+            starts, ends, levels = unpack_frame(
+                self.pool.fetch_view(page_id))
+            entries.extend(zip(starts, ends, levels))
         kept = [entry for entry in entries if entry[0] not in removed]
         if len(entries) - len(kept) != len(removed):
             found = {entry[0] for entry in entries} & removed
@@ -294,43 +367,27 @@ class TagIndex:
         new_chain = chain[:first] + fresh + chain[last + 1:]
         if new_chain:
             self._page_chains[tag] = new_chain
-            self._tail[tag] = new_chain[-1]
             self._counts[tag] = (self._counts.get(tag, 0)
                                  + len(added) - len(removed))
         else:
             self._page_chains.pop(tag, None)
-            self._tail.pop(tag, None)
             self._counts.pop(tag, None)
 
     def _fences(self, chain: list[int]) -> list[int]:
-        """First-entry start of every page in *chain*."""
-        fences = []
-        for page_id in chain:
-            page = self.pool.fetch(page_id)
-            try:
-                fences.append(_ENTRY.unpack(page.record(0))[0])
-            finally:
-                self.pool.unpin(page_id)
-        return fences
+        """Min-start fence of every page in *chain* (header peeks)."""
+        return [self._header(page_id).first_start for page_id in chain]
 
     def _pack_entries(self,
                       entries: list[tuple[int, int, int]]) -> list[int]:
-        """Write *entries* into freshly allocated pages; return their ids."""
+        """Write *entries* into freshly allocated frame pages."""
+        starts = array("I", (entry[0] for entry in entries))
+        ends = array("I", (entry[1] for entry in entries))
+        levels = array("H", (entry[2] for entry in entries))
         page_ids: list[int] = []
-        page = None
-        try:
-            for entry in entries:
-                payload = _ENTRY.pack(*entry)
-                if page is not None and page.free_space < len(payload):
-                    self.pool.unpin(page.page_id, dirty=True)
-                    page = None
-                if page is None:
-                    page = self.pool.new_page()
-                    page_ids.append(page.page_id)
-                page.insert(payload)
-        finally:
-            if page is not None:
-                self.pool.unpin(page.page_id, dirty=True)
+        for frame in pack_frames(starts, ends, levels):
+            page = self.pool.new_page()
+            page_ids.append(page.page_id)
+            self._store_frame(page, frame)
         return page_ids
 
     @classmethod
@@ -341,12 +398,69 @@ class TagIndex:
         index._page_chains = {tag: list(chain)
                               for tag, chain in chains.items()}
         index._counts = dict(counts)
-        index._tail = {tag: chain[-1]
-                       for tag, chain in chains.items() if chain}
         return index
+
+    # -- accounting ----------------------------------------------------------
 
     def page_count(self, tag: str | None = None) -> int:
         """Pages used by one tag's chain, or by the whole index."""
         if tag is not None:
             return len(self._page_chains.get(tag, ()))
         return sum(len(chain) for chain in self._page_chains.values())
+
+    def compressed_bytes(self, tag: str | None = None) -> int:
+        """Frame bytes on disk for one tag's chain (or the index).
+
+        Read from frame headers — one header peek per page on first
+        use, cached until the tag's chain changes.
+        """
+        if tag is not None:
+            cached = self._compressed.get(tag)
+            if cached is None:
+                cached = sum(self._header(page_id).length
+                             for page_id in
+                             self._page_chains.get(tag, ()))
+                self._compressed[tag] = cached
+            return cached
+        return sum(self.compressed_bytes(name)
+                   for name in self._page_chains)
+
+    def decoded_bytes(self, tag: str | None = None) -> int:
+        """Heap bytes held by cached decoded blocks (0 if not decoded)."""
+        if tag is not None:
+            block = self._blocks.get(tag)
+            return block.resident_bytes() if block is not None else 0
+        total = sum(block.resident_bytes()
+                    for block in self._blocks.values())
+        if self._merged_block is not None:
+            total += self._merged_block.resident_bytes()
+        return total
+
+    def storage_stats(self) -> dict[str, object]:
+        """Compression and residency accounting for diagnostics.
+
+        ``per_tag`` maps each tag to its posting count, page count,
+        compressed bytes on disk, and the decoded block's resident
+        bytes (0 while the tag's block is not cached; grows when a
+        consumer materializes Region objects or match rows).
+        """
+        per_tag = {}
+        for tag in self.tags():
+            block = self._blocks.get(tag)
+            per_tag[tag] = {
+                "postings": self._counts.get(tag, 0),
+                "pages": len(self._page_chains.get(tag, ())),
+                "compressed_bytes": self.compressed_bytes(tag),
+                "decoded_bytes": (block.resident_bytes()
+                                  if block is not None else 0),
+                "materialized": (block.materialized
+                                 if block is not None else False),
+            }
+        return {
+            "per_tag": per_tag,
+            "compressed_bytes": sum(entry["compressed_bytes"]
+                                    for entry in per_tag.values()),
+            "decoded_bytes": self.decoded_bytes(),
+            "decoded_tags": len(self._blocks),
+            "decode_epoch": self.decode_epoch,
+        }

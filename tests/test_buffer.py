@@ -160,3 +160,54 @@ class TestEvictionExceptionSafety:
         pool.fetch(ids[1])
         assert disk.read_page(ids[0]).records() == [b"page-0",
                                                     b"precious"]
+
+
+class TestFetchView:
+    def test_dirty_resident_page_served_from_pool(self, disk):
+        """A view must show dirty in-pool bytes, not stale disk bytes."""
+        from repro.storage.pages import Page
+
+        page_id = disk.allocate()
+        disk.write_page(Page(page_id))
+        pool = BufferPool(disk, capacity=4)
+        page = pool.fetch(page_id)
+        page.insert(b"unflushed edit")
+        pool.unpin(page_id, dirty=True)
+        view = pool.fetch_view(page_id)
+        assert bytes(view) == page.to_bytes()
+        assert bytes(view) != bytes(disk.read_view(page_id))
+        assert pool.stats.view_misses == 0  # served as a hit
+
+    def test_nonresident_page_served_zero_copy(self, disk):
+        from repro.storage.pages import Page
+
+        page_id = disk.allocate()
+        page = Page(page_id)
+        page.insert(b"on disk")
+        disk.write_page(page)
+        pool = BufferPool(disk, capacity=2)
+        view = pool.fetch_view(page_id)
+        assert bytes(view) == page.to_bytes()
+        assert pool.stats.view_misses == 1
+        # the view path must not populate a frame (no eviction
+        # pressure from read-only scans)
+        assert len(pool) == 0
+
+    def test_view_falls_back_without_disk_support(self):
+        from repro.storage.disk import DiskManager
+        from repro.storage.pages import Page
+
+        class NoViewDisk(InMemoryDisk):
+            def read_view(self, page_id):
+                return DiskManager.read_view(self, page_id)
+
+        disk = NoViewDisk()
+        page_id = disk.allocate()
+        page = Page(page_id)
+        page.insert(b"fallback")
+        disk.write_page(page)
+        pool = BufferPool(disk, capacity=2)
+        view = pool.fetch_view(page_id)
+        assert bytes(view) == page.to_bytes()
+        assert pool.stats.view_misses == 0
+        assert len(pool) == 1  # fallback caches the frame

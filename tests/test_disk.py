@@ -88,3 +88,70 @@ class TestFileDisk:
         path.write_bytes(b"not a page")
         with pytest.raises(StorageError, match="whole number"):
             FileDisk(path)
+
+
+class TestReadViews:
+    def test_view_matches_read_page(self, disk):
+        page_id = disk.allocate()
+        page = Page(page_id)
+        page.insert(b"view parity")
+        disk.write_page(page)
+        view = disk.read_view(page_id)
+        assert view is not None
+        assert bytes(view) == disk.read_page(page_id).to_bytes()
+        assert disk.stats.view_reads >= 1
+
+    def test_view_reflects_later_writes(self, disk):
+        page_id = disk.allocate()
+        first = Page(page_id)
+        first.insert(b"one")
+        disk.write_page(first)
+        disk.read_view(page_id)
+        second = Page(page_id)
+        second.insert(b"two")
+        disk.write_page(second)
+        # a *new* view must observe the overwrite
+        assert bytes(disk.read_view(page_id)) == second.to_bytes()
+
+    def test_view_survives_file_growth(self, tmp_path):
+        with FileDisk(tmp_path / "grow.db") as disk:
+            first_id = disk.allocate()
+            page = Page(first_id)
+            page.insert(b"before growth")
+            disk.write_page(page)
+            early_view = bytes(disk.read_view(first_id))
+            # grow well past the initial mapping, then map the tail
+            for _ in range(8):
+                last_id = disk.allocate()
+            tail = Page(last_id)
+            tail.insert(b"after growth")
+            disk.write_page(tail)
+            assert bytes(disk.read_view(last_id)) == tail.to_bytes()
+            assert bytes(disk.read_view(first_id)) == early_view
+
+    def test_view_unallocated_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.read_view(13)
+
+    def test_mmap_disabled_returns_none(self, tmp_path):
+        with FileDisk(tmp_path / "plain.db", mmap_reads=False) as disk:
+            page_id = disk.allocate()
+            assert disk.read_view(page_id) is None
+
+    def test_exported_view_does_not_break_close(self, tmp_path):
+        disk = FileDisk(tmp_path / "export.db")
+        page_id = disk.allocate()
+        disk.write_page(Page(page_id))
+        view = disk.read_view(page_id)
+        disk.close()  # must not raise even while `view` is alive
+        assert len(view) > 0
+
+    def test_views_persist_across_reopen(self, tmp_path):
+        path = tmp_path / "reopen.db"
+        with FileDisk(path) as disk:
+            page_id = disk.allocate()
+            page = Page(page_id)
+            page.insert(b"mapped later")
+            disk.write_page(page)
+        with FileDisk(path) as disk:
+            assert bytes(disk.read_view(page_id)) == page.to_bytes()

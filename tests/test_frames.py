@@ -1,0 +1,229 @@
+"""Compressed posting-frame codec: round-trips and format guards.
+
+Property tests (hypothesis) drive the delta/byte-packed codec with
+adversarial posting lists — huge document-order gaps, maximal
+extents, deep levels, single postings, empty frames — and assert the
+decode is exact.  The format guard tests pin the *typed* failure
+mode: bytes that are not a current-version frame (old slotted pages,
+zeroed pages, truncated buffers, future versions) must raise
+:class:`~repro.errors.PageFormatError`, never decode garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PageFormatError, StorageError
+from repro.storage.frames import (FRAME_MAGIC, FRAME_VERSION,
+                                  HEADER_BYTES, frame_bytes, iter_chunks,
+                                  pack_frame, pack_frames, peek_header,
+                                  unpack_frame)
+from repro.storage.pages import PAGE_SIZE, Page
+
+U32 = 2 ** 32 - 1
+U16 = 2 ** 16 - 1
+
+
+@st.composite
+def posting_columns(draw, max_count=400):
+    """Parallel (starts, ends, levels) with valid structure.
+
+    Deltas span the full 1..2^32 range class (so every column width is
+    exercised), extents cover 0..u16-and-beyond, levels cover both the
+    1-byte and 2-byte encodings.
+    """
+    count = draw(st.integers(min_value=0, max_value=max_count))
+    deltas = draw(st.lists(
+        st.integers(min_value=1, max_value=2 ** 20),
+        min_size=count, max_size=count))
+    first = draw(st.integers(min_value=0, max_value=2 ** 16))
+    starts = []
+    position = first
+    for delta in deltas:
+        starts.append(position)
+        position += delta
+    extents = draw(st.lists(
+        st.integers(min_value=0, max_value=2 ** 18),
+        min_size=count, max_size=count))
+    ends = [start + extent for start, extent in zip(starts, extents)]
+    levels = draw(st.lists(
+        st.integers(min_value=0, max_value=U16),
+        min_size=count, max_size=count))
+    return starts, ends, levels
+
+
+class TestFrameRoundtrip:
+    @given(posting_columns())
+    @settings(max_examples=120, deadline=None)
+    def test_single_frame_roundtrip(self, columns):
+        starts, ends, levels = columns
+        frame = pack_frame(starts, ends, levels)
+        got_starts, got_ends, got_levels = unpack_frame(frame)
+        assert list(got_starts) == starts
+        assert list(got_ends) == ends
+        assert list(got_levels) == levels
+        # decoded columns are the exact types RegionBlock bisects over
+        assert (got_starts.typecode, got_ends.typecode,
+                got_levels.typecode) == ("I", "I", "H")
+
+    @given(posting_columns())
+    @settings(max_examples=80, deadline=None)
+    def test_paged_roundtrip_and_fences(self, columns):
+        starts, ends, levels = columns
+        capacity = 256  # force multi-frame chains even for small lists
+        frames = pack_frames(starts, ends, levels, capacity=capacity)
+        got = []
+        previous_max = -1
+        for frame in frames:
+            assert len(frame) <= capacity
+            header = peek_header(frame)
+            assert header.count > 0
+            assert header.first_start > previous_max
+            assert header.max_start >= header.first_start
+            previous_max = header.max_start
+            chunk = list(iter_chunks(frame))
+            assert chunk[0][0] == header.first_start
+            assert chunk[-1][0] == header.max_start
+            got.extend(chunk)
+        assert got == list(zip(starts, ends, levels))
+
+    @given(posting_columns(max_count=2000))
+    @settings(max_examples=20, deadline=None)
+    def test_page_sized_frames(self, columns):
+        starts, ends, levels = columns
+        for frame in pack_frames(starts, ends, levels):
+            assert len(frame) <= PAGE_SIZE
+
+    def test_huge_gaps_need_wide_deltas(self):
+        starts = [0, 1, U32 - 1]  # one delta needs the full 4 bytes
+        ends = [0, U32 - 1, U32]
+        levels = [0, U16, 3]
+        frame = pack_frame(starts, ends, levels)
+        header = peek_header(frame)
+        assert header.delta_width == 4
+        assert header.extent_width == 4
+        assert header.level_width == 2
+        assert list(iter_chunks(frame)) == list(zip(starts, ends, levels))
+
+    def test_small_values_pack_narrow(self):
+        count = 50
+        starts = list(range(0, count * 2, 2))
+        ends = [start + 1 for start in starts]
+        levels = [3] * count
+        frame = pack_frame(starts, ends, levels)
+        header = peek_header(frame)
+        assert (header.delta_width, header.extent_width,
+                header.level_width) == (1, 1, 1)
+        # 3 bytes/posting (+header) vs the 10-byte uncompressed record
+        assert len(frame) == HEADER_BYTES + 3 * count - 1
+
+    def test_single_posting(self):
+        frame = pack_frame([7], [9], [2])
+        header = peek_header(frame)
+        assert (header.count, header.first_start,
+                header.max_start) == (1, 7, 7)
+        assert list(iter_chunks(frame)) == [(7, 9, 2)]
+
+    def test_empty_frame(self):
+        frame = pack_frame([], [], [])
+        assert peek_header(frame).count == 0
+        starts, ends, levels = unpack_frame(frame)
+        assert (len(starts), len(ends), len(levels)) == (0, 0, 0)
+        assert pack_frames([], [], []) == []
+
+    def test_frame_bytes_matches_encoding(self):
+        starts, ends, levels = [1, 5, 300], [2, 6, 300], [1, 2, 3]
+        frame = pack_frame(starts, ends, levels)
+        header = peek_header(frame)
+        assert len(frame) == frame_bytes(
+            header.count, header.delta_width, header.extent_width,
+            header.level_width) == header.length
+
+
+class TestFrameValidation:
+    def test_level_overflow_is_typed(self):
+        with pytest.raises(StorageError):
+            pack_frame([1], [2], [U16 + 1])
+
+    def test_non_increasing_starts_rejected(self):
+        with pytest.raises(StorageError):
+            pack_frame([5, 5], [6, 6], [0, 0])
+        with pytest.raises(StorageError):
+            pack_frame([5, 4], [6, 6], [0, 0])
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(StorageError):
+            pack_frame([5], [4], [0])
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(StorageError):
+            pack_frame([5], [6], [-1])
+
+    def test_oversized_posting_never_silently_dropped(self):
+        with pytest.raises(StorageError):
+            pack_frames([1, 2], [1, 2], [0, 0], capacity=HEADER_BYTES)
+
+
+class TestFormatGuard:
+    def test_old_slotted_page_rejected(self):
+        # a slotted posting page from the pre-compression format: its
+        # leading u16 is a record count, which can never be the magic
+        page = Page(0)
+        for record in (b"\x01\x02\x03", b"\x04\x05"):
+            page.insert(record)
+        with pytest.raises(PageFormatError, match="magic"):
+            peek_header(page.to_bytes())
+
+    def test_zeroed_page_rejected(self):
+        with pytest.raises(PageFormatError, match="magic"):
+            unpack_frame(bytes(PAGE_SIZE))
+
+    def test_truncated_buffer_rejected(self):
+        frame = pack_frame([1, 2], [3, 4], [0, 1])
+        with pytest.raises(PageFormatError, match="too short"):
+            peek_header(frame[:HEADER_BYTES - 1])
+
+    def test_future_version_rejected(self):
+        frame = bytearray(pack_frame([1], [2], [0]))
+        frame[2] = FRAME_VERSION + 1
+        with pytest.raises(PageFormatError, match="version"):
+            peek_header(bytes(frame))
+
+    def test_corrupt_widths_rejected(self):
+        frame = bytearray(pack_frame([1, 9], [2, 10], [0, 1]))
+        frame[20] = 3  # not a legal delta width
+        with pytest.raises(PageFormatError, match="width"):
+            peek_header(bytes(frame))
+
+    def test_length_mismatch_rejected(self):
+        frame = pack_frame([1, 9], [2, 10], [0, 1])
+        header = struct.pack("<HBBIIII", FRAME_MAGIC, FRAME_VERSION, 0,
+                             2, 1, 9, len(frame) + 7)
+        doctored = header + frame[len(header):]
+        with pytest.raises(PageFormatError, match="declares"):
+            peek_header(doctored)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_random_bytes_never_decode_silently(self, junk):
+        try:
+            starts, ends, levels = unpack_frame(junk)
+        except PageFormatError:
+            return
+        # the only way random bytes decode is by actually being a
+        # well-formed frame; re-encoding must then agree
+        frame = pack_frame(list(starts), list(ends), list(levels))
+        assert unpack_frame(frame)[0] == starts
+
+    def test_memoryview_input(self):
+        frame = pack_frame([1, 4], [2, 8], [0, 1])
+        padded = bytearray(frame) + bytes(PAGE_SIZE - len(frame))
+        starts, ends, levels = unpack_frame(memoryview(padded))
+        assert list(starts) == [1, 4]
+        assert list(ends) == [2, 8]
+        assert list(levels) == [0, 1]
