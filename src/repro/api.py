@@ -47,7 +47,8 @@ from repro.estimation.estimator import (CardinalityEstimator,
                                         PositionalEstimator)
 from repro.obs.explain import ExplainReport, build_analysis
 from repro.obs.querylog import QueryLog, build_record
-from repro.obs.spans import Span, Tracer
+from repro.obs.spans import (Span, TraceContext, Tracer,
+                             assign_span_ids)
 from repro.service.service import QueryService
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, InMemoryDisk
@@ -98,6 +99,13 @@ class QueryResult:
 
 class Database:
     """A single-document native XML database instance."""
+
+    #: plain executions stamp trace ids but do **not** record into
+    #: :attr:`tracer` (only ``explain(analyze=True)`` does — asserted
+    #: by the tracer-count tests); layers that sample traces per query
+    #: (the service) check this flag and record the span themselves.
+    #: :class:`~repro.shard.sharded.ShardedDatabase` overrides it.
+    records_traces_in_execute = False
 
     def __init__(self, name: str = "db",
                  disk: DiskManager | None = None,
@@ -418,6 +426,10 @@ class Database:
                                 factors=self.cost_factors)
         result = Executor(context, pattern, engine=engine).execute(
             plan, spans=trace)
+        if result.span is not None and not result.span.trace_id:
+            # stamp trace identity once per traced run, so log records
+            # and any retained span tree share a joinable trace id
+            assign_span_ids(result.span, TraceContext.new().trace_id)
         if log is not None:
             log.record(build_record(
                 pattern, plan, result, algorithm=algorithm,
@@ -484,6 +496,12 @@ class Database:
         query_span.seconds = sum(child.seconds
                                  for child in query_span.children)
         query_span.output_rows = len(execution)
+        # keep the trace id execute() stamped (the query-log record
+        # already carries it); re-stamping the whole tree under it is
+        # idempotent and gives the wrapper stages proper span ids
+        assign_span_ids(query_span,
+                        execution.span.trace_id
+                        or TraceContext.new().trace_id)
         report.span = query_span
         self.tracer.record(query_span)
         return report

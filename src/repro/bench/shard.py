@@ -1,4 +1,4 @@
-"""Sharded scatter-gather scaling benchmark (BENCH_PR6.json).
+"""Sharded scatter-gather scaling benchmark (BENCH_PR8.json).
 
 Measures the shard fleet against the single-node baseline on the
 folded multi-document workloads — the data shape sharding exists for:
@@ -33,6 +33,7 @@ from typing import Sequence
 from repro.bench.harness import ExperimentSetup, dataset_database
 from repro.core.pattern import Predicate, QueryPattern
 from repro.errors import ShardError
+from repro.obs.spans import SPAN_COUNTERS, Span
 from repro.shard.sharded import ShardedDatabase
 from repro.shard.worker import merge_key
 
@@ -85,6 +86,58 @@ def _shard_workloads() -> tuple[ShardWorkload, ...]:
 
 
 SHARD_WORKLOADS: tuple[ShardWorkload, ...] = _shard_workloads()
+
+
+def _subtree_counters(span: Span) -> dict[str, int]:
+    """Sum of the cost-model counter shares over a span subtree."""
+    totals = {name: int(value)
+              for name, value in span.counters().items()}
+    for child in span.children:
+        for name, value in _subtree_counters(child).items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def trace_breakdown(sharded: ShardedDatabase, plan,
+                    pattern: QueryPattern) -> dict[str, object]:
+    """Per-shard span breakdown of one traced scatter-gather run.
+
+    Runs the plan once with tracing on and reads the stitched trace
+    back: coordinator phase times (scatter / gather / merge) and each
+    shard's wall time, rows and exact counter shares.  The shares are
+    re-verified against the merged execution counters — a stitched
+    trace that lost or double-counted work fails the bench rather
+    than shipping a wrong breakdown.
+    """
+    execution = sharded.execute(plan, pattern, spans=True)
+    span = execution.span
+    assert span is not None
+    phases = {child.name: child.seconds for child in span.children}
+    shards = []
+    for wrapper in ShardedDatabase._shard_wrappers(span):
+        shards.append({
+            "shard": wrapper.detail,
+            "wall_seconds": wrapper.seconds,
+            "rows": wrapper.output_rows,
+            "counters": _subtree_counters(wrapper),
+        })
+    stitched = {name: sum(entry["counters"].get(name, 0)
+                          for entry in shards)
+                for name in SPAN_COUNTERS}
+    merged = {name: int(getattr(execution.metrics, name))
+              for name in SPAN_COUNTERS}
+    if stitched != merged:
+        raise ShardError(
+            f"stitched trace counter shares {stitched} do not sum to "
+            f"the merged execution counters {merged}")
+    return {
+        "trace_id": span.trace_id,
+        "scatter_seconds": phases.get("ShardScatter", 0.0),
+        "gather_seconds": phases.get("ShardGather", 0.0),
+        "merge_seconds": phases.get("ShardMerge", 0.0),
+        "shards": shards,
+        "counter_shares_exact": True,  # any mismatch raises instead
+    }
 
 
 def _best_of(run, repeats: int) -> float:
@@ -155,6 +208,7 @@ def measure_shard_workload(spec: ShardWorkload,
             overhead = max(0.0, seconds - shard_walls)
             modeled = overhead + max(entry["cpu_seconds"]
                                      for entry in profile)
+            breakdown = trace_breakdown(sharded, sharded_plan, pattern)
             points.append({
                 "shards": shards,
                 "seconds": seconds,
@@ -171,6 +225,7 @@ def measure_shard_workload(spec: ShardWorkload,
                                 in sharded.partition.assignments],
                 "bindings_match": True,
                 "document_order": True,
+                "trace": breakdown,
             })
     one_shard = points[0]["seconds"]
     for point in points:
@@ -193,7 +248,7 @@ def shard_scaling_report(setup: ExperimentSetup | None = None,
                          shard_counts: Sequence[int] = SHARD_COUNTS,
                          workloads: Sequence[ShardWorkload] =
                          SHARD_WORKLOADS) -> dict[str, object]:
-    """The full scaling report (the ``BENCH_PR6.json`` payload)."""
+    """The full scaling report (the ``BENCH_PR8.json`` payload)."""
     setup = setup or ExperimentSetup()
     cells = [measure_shard_workload(spec, setup, repeats=repeats,
                                     shard_counts=shard_counts)
@@ -205,11 +260,13 @@ def shard_scaling_report(setup: ExperimentSetup | None = None,
     top_modeled = [point["modeled_speedup_vs_single"]
                    for point in top_points]
     return {
-        "benchmark": "BENCH_PR6",
+        "benchmark": "BENCH_PR8",
         "description": "sharded scatter-gather scaling on selective "
                        "multi-document workloads (best of N, warm "
                        "workers; bindings differentially verified "
-                       "per cell)",
+                       "per cell; every point carries a stitched-"
+                       "trace per-shard span breakdown with exact "
+                       "counter shares)",
         "python": platform.python_version(),
         # the parallel headroom of the curve: with fewer cores than
         # shards the workers time-slice one CPU and the 4-shard point

@@ -160,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the report as JSON, including "
                               "the span tree under --analyze "
                               "('-' for stdout)")
+    explain.add_argument("--shards", type=int, default=0, metavar="N",
+                         help="with --analyze: execute across N "
+                              "process-based shards and report "
+                              "per-shard actuals plus statistics "
+                              "provenance (0 = single node)")
 
     stats = commands.add_parser(
         "stats", help="document statistics and service metrics")
@@ -174,10 +179,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "N times through the query service, so "
                             "the metrics are non-trivial")
     stats.add_argument("--listen", type=int, default=0, metavar="PORT",
-                       help="after --serve, keep serving /metrics in "
-                            "the Prometheus text format over HTTP on "
+                       help="after --serve, keep serving /metrics "
+                            "(Prometheus text), /traces (retained "
+                            "trace JSON) and /slo (objective "
+                            "compliance JSON) over HTTP on "
                             "127.0.0.1:PORT until Ctrl-C (exit 2 if "
                             "the port is taken)")
+    stats.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="serve against the corpus partitioned "
+                            "across N process-based shards; traced "
+                            "queries record stitched cross-process "
+                            "traces (0 = single node)")
+    stats.add_argument("--trace-sample", type=int, default=0,
+                       metavar="K",
+                       help="trace every K-th served query into the "
+                            "/traces ring (default 0 = never)")
     add_service_flags(stats)
 
     generate = commands.add_parser(
@@ -205,8 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with 'engines': measure the sharded "
                             "scatter-gather scaling curve (shard "
                             "counts 1/2/4) instead of the engine "
-                            "speed comparison; JSON goes to e.g. "
-                            "BENCH_PR6.json")
+                            "speed comparison; every point carries a "
+                            "stitched-trace per-shard span breakdown; "
+                            "JSON goes to e.g. BENCH_PR8.json")
 
     log_cmd = commands.add_parser(
         "log", help="run the paper workload with a persistent query "
@@ -469,6 +486,33 @@ def _run_query(database, arguments: argparse.Namespace, out: IO[str],
 
 
 def _command_explain(arguments: argparse.Namespace, out: IO[str]) -> int:
+    if arguments.shards < 0:
+        raise ReproError("--shards must be >= 0")
+    if arguments.shards:
+        if arguments.trace:
+            raise ReproError("--trace inspects the single-node "
+                             "optimizer; drop --shards")
+        from repro.shard.sharded import ShardedDatabase
+
+        with ShardedDatabase(_shard_corpus_document(arguments),
+                             shards=arguments.shards,
+                             engine=arguments.engine) as database:
+            report = database.explain(arguments.xpath,
+                                      algorithm=arguments.algorithm,
+                                      analyze=arguments.analyze,
+                                      engine=arguments.engine)
+            out.write(report.render() + "\n")
+            if arguments.json:
+                payload = json.dumps(report.to_dict(), indent=2,
+                                     sort_keys=True) + "\n"
+                if arguments.json == "-":
+                    out.write(payload)
+                else:
+                    with open(arguments.json, "w",
+                              encoding="utf-8") as handle:
+                        handle.write(payload)
+                    out.write(f"wrote {arguments.json}\n")
+        return 0
     database = _open_database(arguments)
     pattern = database.compile(arguments.xpath)
     if arguments.trace:
@@ -546,7 +590,12 @@ def _serve_paper_workload(database: Database, dataset: str | None,
 
 def _run_metrics_server(database: Database, port: int,
                         out: IO[str]) -> int:
-    """Serve the query service's /metrics endpoint until Ctrl-C.
+    """Serve /metrics, /traces and /slo until Ctrl-C.
+
+    ``/metrics`` is the Prometheus text format; ``/traces`` returns
+    the retained query traces (stitched cross-process trees on a
+    sharded database) and ``/slo`` the objective compliance snapshot
+    with its per-bucket trace exemplars, both as JSON.
 
     Binds 127.0.0.1 only (an observability endpoint, not a public
     API).  A taken port is an operator error, not a crash: report it
@@ -558,13 +607,25 @@ def _run_metrics_server(database: Database, port: int,
 
     class MetricsHandler(BaseHTTPRequestHandler):
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            if self.path.partition("?")[0] not in ("/", "/metrics"):
+            route = self.path.partition("?")[0]
+            if route in ("/", "/metrics"):
+                body = service.export_metrics(
+                    "prometheus").encode("utf-8")
+                content_type = "text/plain; version=0.0.4"
+            elif route == "/traces":
+                body = json.dumps({"traces": service.traces()},
+                                  indent=2,
+                                  sort_keys=True).encode("utf-8")
+                content_type = "application/json"
+            elif route == "/slo":
+                body = json.dumps(service.slo.snapshot(), indent=2,
+                                  sort_keys=True).encode("utf-8")
+                content_type = "application/json"
+            else:
                 self.send_error(404)
                 return
-            body = service.export_metrics("prometheus").encode("utf-8")
             self.send_response(200)
-            self.send_header("Content-Type",
-                             "text/plain; version=0.0.4")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
@@ -579,8 +640,9 @@ def _run_metrics_server(database: Database, port: int,
         print(f"error: cannot listen on 127.0.0.1:{port}: {exc}",
               file=sys.stderr)
         return 2
-    out.write(f"serving /metrics on http://127.0.0.1:"
-              f"{server.server_address[1]} (Ctrl-C to stop)\n")
+    out.write(f"serving /metrics, /traces and /slo on "
+              f"http://127.0.0.1:{server.server_address[1]} "
+              f"(Ctrl-C to stop)\n")
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
@@ -591,7 +653,27 @@ def _run_metrics_server(database: Database, port: int,
 
 
 def _command_stats(arguments: argparse.Namespace, out: IO[str]) -> int:
+    if arguments.shards < 0:
+        raise ReproError("--shards must be >= 0")
+    if arguments.trace_sample < 0:
+        raise ReproError("--trace-sample must be >= 0")
+    options = _service_options(arguments)
+    if arguments.trace_sample:
+        options["trace_sample"] = arguments.trace_sample
+    if arguments.shards:
+        from repro.shard.sharded import ShardedDatabase
+
+        with ShardedDatabase(_shard_corpus_document(arguments),
+                             shards=arguments.shards,
+                             service_options=options) as database:
+            return _run_stats(database, arguments, out)
     database = _open_database(arguments)
+    database.service_options.update(options)
+    return _run_stats(database, arguments, out)
+
+
+def _run_stats(database, arguments: argparse.Namespace,
+               out: IO[str]) -> int:
     if arguments.serve:
         _serve_paper_workload(database, arguments.dataset,
                               arguments.serve)
@@ -600,8 +682,10 @@ def _command_stats(arguments: argparse.Namespace, out: IO[str]) -> int:
     if arguments.format != "table":
         out.write(database.service.export_metrics(arguments.format))
         return 0
-    for key, value in database.statistics().items():
-        out.write(f"{key:16s} {value}\n")
+    statistics = getattr(database, "statistics", None)
+    if statistics is not None:
+        for key, value in statistics().items():
+            out.write(f"{key:16s} {value}\n")
     if arguments.serve:
         _write_service_stats(database, out)
     histogram = database.document.tag_histogram()

@@ -21,7 +21,15 @@ Six pieces, threaded through every layer of the system:
   and holdout scoring;
 * :mod:`repro.obs.audit` — replays logged patterns through the
   optimizer under current statistics/factors and flags plan flips and
-  Q-error drift (human report + scrapeable gauges).
+  Q-error drift (human report + scrapeable gauges);
+* :mod:`repro.obs.slo` — declarative service-level objectives over
+  the live query stream: compliance, error-budget burn rates and
+  per-bucket trace exemplars (``/slo``).
+
+Spans carry trace identity (:class:`repro.obs.spans.TraceContext`)
+across process boundaries, so a sharded query stitches every worker's
+subtree into one distributed trace whose counter shares sum exactly
+to the merged totals.
 
 All engine-level instrumentation is zero-cost when disabled: a single
 ``is None`` check per operator per execution, never per tuple.
@@ -29,10 +37,12 @@ All engine-level instrumentation is zero-cost when disabled: a single
 
 from repro.obs.explain import (ExplainReport, OperatorAnalysis,
                                build_analysis, q_error)
-from repro.obs.registry import (Counter, Gauge, Histogram,
-                                MetricsRegistry, SampleReservoir,
-                                get_global_registry)
-from repro.obs.spans import Span, Tracer
+from repro.obs.registry import (BucketRecorder, Counter, Gauge,
+                                Histogram, MetricsRegistry,
+                                SampleReservoir, get_global_registry)
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLObjective, SLOTracker
+from repro.obs.spans import (FrozenMetrics, Span, TraceContext, Tracer,
+                             assign_span_ids)
 from repro.obs.querylog import (QueryLog, QueryLogScan, build_record,
                                 read_query_log, signature_digest)
 from repro.obs.calibrate import (CalibrationResult, FactorFit,
@@ -46,14 +56,21 @@ __all__ = [
     "OperatorAnalysis",
     "build_analysis",
     "q_error",
+    "BucketRecorder",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "SampleReservoir",
     "get_global_registry",
+    "DEFAULT_OBJECTIVES",
+    "SLObjective",
+    "SLOTracker",
+    "FrozenMetrics",
     "Span",
+    "TraceContext",
     "Tracer",
+    "assign_span_ids",
     "QueryLog",
     "QueryLogScan",
     "build_record",

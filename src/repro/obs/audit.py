@@ -86,6 +86,10 @@ class QueryAudit:
     #: and its node ids need not match the originally logged plan's.
     logged_digest: str = ""
     current_digest: str = ""
+    #: trace id of the latest logged run of this query (when it was
+    #: traced): the join key from a flagged flip to the retained trace
+    #: (``/traces``) that shows how the logged plan actually ran.
+    trace_id: str = ""
 
     @property
     def flipped(self) -> bool:
@@ -105,6 +109,7 @@ class QueryAudit:
             "logged_estimated_cost": self.logged_estimated_cost,
             "current_estimated_cost": self.current_estimated_cost,
             "flipped": self.flipped,
+            "trace_id": self.trace_id,
         }
 
 
@@ -158,6 +163,8 @@ class AuditReport:
                          f"(est {entry.logged_estimated_cost:.1f})")
             lines.append(f"    current: {entry.current_plan} "
                          f"(est {entry.current_estimated_cost:.1f})")
+            if entry.trace_id:
+                lines.append(f"    trace:   {entry.trace_id}")
         if self.qerror_by_operator:
             lines.append("cardinality q-error by operator type "
                          "(count / p50 / p95 / max):")
@@ -255,7 +262,8 @@ def audit_records(database: "Database",
             current_digest=canonical_plan_digest(result.plan, pattern),
             logged_estimated_cost=float(
                 record.get("estimated_cost") or 0.0),
-            current_estimated_cost=result.estimated_cost))
+            current_estimated_cost=result.estimated_cost,
+            trace_id=str(record.get("trace_id", ""))))
     report.entries.sort(key=lambda entry: (entry.algorithm, entry.query))
     report.qerror_by_operator = {
         kind: qerror_summary(values)

@@ -168,6 +168,10 @@ class ExplainReport:
     root: OperatorAnalysis | None = None
     span: Span | None = None
     parse_seconds: float = 0.0
+    #: sharded execution only: shard count plus the merged statistics'
+    #: per-shard provenance (which shard contributed which share of
+    #: each pattern tag's histogram mass)
+    shards: "dict[str, object] | None" = None
 
     @property
     def optimize_seconds(self) -> float:
@@ -198,6 +202,14 @@ class ExplainReport:
     def render(self) -> str:
         """Human-readable report (the CLI ``explain`` output)."""
         lines = [f"{self.algorithm} plan for {self.query}"]
+        if self.shards is not None:
+            provenance = self.shards.get("statistics_provenance", {})
+            for tag in sorted(provenance):
+                shares = ", ".join(
+                    f"shard[{entry['shard_id']}] {entry['count']}"
+                    f" ({entry['fraction'] * 100:.0f}%)"
+                    for entry in provenance[tag])
+                lines.append(f"statistics[{tag}]: {shares}")
         if not self.analyze:
             lines.append(self.optimization.explain())
             return "\n".join(lines)
@@ -231,6 +243,8 @@ class ExplainReport:
             "parse_seconds": self.parse_seconds,
             "optimize_seconds": self.optimize_seconds,
         }
+        if self.shards is not None:
+            payload["shards"] = self.shards
         if self.analyze and self.execution is not None:
             metrics = self.execution.metrics
             payload.update({

@@ -18,8 +18,9 @@ Design points:
 
 * **Asynchronous writes** — :meth:`QueryLog.record` enqueues; a daemon
   writer thread serialises and appends, so logging never sits on the
-  query hot path.  A full queue drops the record and counts the drop
-  instead of blocking a query.
+  query hot path.  A full queue drops the record instead of blocking
+  a query — warned once, counted always (``QueryLog.dropped`` and the
+  ``repro_querylog_dropped_total`` counter).
 * **Size-bounded** — the active file rotates to ``<path>.1`` …
   ``<path>.<backups>`` once it exceeds ``max_bytes``; the oldest
   rotation is deleted, so total disk use is bounded by
@@ -42,6 +43,7 @@ import os
 import queue
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from hashlib import sha1
@@ -82,14 +84,17 @@ def build_record(pattern: "QueryPattern", plan: "PhysicalPlan",
                  statistics_epoch: int = 0,
                  factors: "CostFactors | None" = None,
                  query: str | None = None,
-                 timestamp: float | None = None) -> dict[str, object]:
+                 timestamp: float | None = None,
+                 trace_id: str = "") -> dict[str, object]:
     """One JSON-able log record for a finished execution.
 
     When the execution was traced (``execution.span`` is set) the
     record carries an ``operators`` list — the plan's operator tree
     flattened pre-order, each entry with the optimizer's estimates,
     the measured rows/seconds, and the operator's exact share of every
-    cost-model counter (the calibration inputs).
+    cost-model counter (the calibration inputs) — plus the trace id,
+    so log analysis (:mod:`repro.obs.audit`) can join a logged plan
+    back to its retained trace.
     """
     from repro.obs.explain import build_analysis
     from repro.service.cache import canonical_plan_digest
@@ -112,6 +117,10 @@ def build_record(pattern: "QueryPattern", plan: "PhysicalPlan",
         "factors": factors.to_dict() if factors is not None else None,
         "counters": metrics.counters(),
     }
+    if not trace_id and execution.span is not None:
+        trace_id = execution.span.trace_id
+    if trace_id:
+        record["trace_id"] = trace_id
     if execution.span is not None:
         analysis = build_analysis(plan, execution.span, pattern)
         record["operators"] = [{
@@ -199,8 +208,25 @@ class QueryLog:
         try:
             self._queue.put_nowait(record)
         except queue.Full:
-            with self._mutex:
-                self._dropped += 1
+            self._count_drop("the writer queue is full")
+
+    def _count_drop(self, reason: str) -> None:
+        """Count a lost record; warn once per log, never per record.
+
+        Drops stay non-fatal and non-blocking (the whole point of the
+        async writer), but they must not be *silent*: the first one
+        raises a ``RuntimeWarning`` and the running total is exported
+        as ``repro_querylog_dropped_total`` by the service collector.
+        """
+        with self._mutex:
+            self._dropped += 1
+            first = self._dropped == 1
+        if first:
+            warnings.warn(
+                f"query log is dropping records ({reason}); further "
+                f"drops are counted on QueryLog.dropped and the "
+                f"repro_querylog_dropped_total metric without "
+                f"warning again", RuntimeWarning, stacklevel=3)
 
     # -- writer thread ---------------------------------------------------
 
@@ -213,9 +239,8 @@ class QueryLog:
                     return
                 try:
                     self._append(item)  # type: ignore[arg-type]
-                except OSError:
-                    with self._mutex:
-                        self._dropped += 1
+                except OSError as error:
+                    self._count_drop(f"append failed: {error}")
             finally:
                 self._queue.task_done()
 

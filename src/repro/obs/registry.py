@@ -36,8 +36,9 @@ import random
 import threading
 from typing import Callable, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "SampleReservoir", "get_global_registry"]
+__all__ = ["BucketRecorder", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "SampleReservoir",
+           "get_global_registry"]
 
 #: default histogram buckets: latency-flavoured, in seconds.
 DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
@@ -174,6 +175,32 @@ class Histogram(_Metric):
             series.total += value
             series.count += 1
 
+    def set_series(self, bucket_counts: Sequence[int], total: float,
+                   count: int, **labels: str) -> None:
+        """Overwrite one series from externally accumulated buckets.
+
+        The mirror path for pull-style sources that keep their own
+        cumulative bucket counts (e.g. the WAL's fsync-latency
+        recorder, which lives below the registry layer): a collector
+        copies the source's buckets verbatim on every export instead
+        of replaying observations.  *bucket_counts* must use this
+        histogram's bucket bounds and cumulative (Prometheus)
+        semantics.
+        """
+        if len(bucket_counts) != len(self.buckets):
+            raise ValueError(
+                f"expected {len(self.buckets)} bucket counts, got "
+                f"{len(bucket_counts)}")
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.buckets))
+                self._series[key] = series
+            series.bucket_counts = [int(c) for c in bucket_counts]
+            series.total = float(total)
+            series.count = int(count)
+
     def count(self, **labels: str) -> int:
         with self._lock:
             series = self._series.get(_label_key(labels))
@@ -246,6 +273,47 @@ class Histogram(_Metric):
                 "count": series.count,
             } for key, series in sorted(self._series.items())],
         }
+
+
+class BucketRecorder:
+    """Cumulative-bucket accumulator for code below the registry layer.
+
+    Storage-layer objects (WAL, transaction manager) predate and
+    outlive any particular :class:`MetricsRegistry`, so they record
+    into one of these; a registry collector mirrors it into a real
+    :class:`Histogram` with :meth:`Histogram.set_series` on every
+    export (:meth:`mirror_into`).  Not thread-safe on its own — owners
+    guard it with the lock that already serializes the recorded
+    operation (the WAL's write lock, the manager's commit lock).
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "total", "count")
+
+    def __init__(self,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(float(bound) for bound in buckets))
+        if not self.buckets:
+            raise ValueError("bucket recorder needs at least one bucket")
+        self.bucket_counts = [0] * len(self.buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+        self.total += float(value)
+        self.count += 1
+
+    def mirror_into(self, histogram: Histogram, **labels: str) -> None:
+        """Copy the accumulated series into *histogram* verbatim."""
+        histogram.set_series(self.bucket_counts, self.total,
+                             self.count, **labels)
+
+    def snapshot(self) -> dict[str, object]:
+        return {"buckets": list(self.buckets),
+                "bucket_counts": list(self.bucket_counts),
+                "sum": self.total, "count": self.count}
 
 
 class MetricsRegistry:

@@ -18,15 +18,26 @@ path is unchanged (see DESIGN.md, "Observability").
 Span trees export as JSON (:meth:`Span.to_dict`) and as an indented
 text tree (:meth:`Span.render`).  A :class:`Tracer` is a thread-safe
 bounded ring of finished query traces.
+
+Distributed tracing: a :class:`TraceContext` names one trace (trace
+id, parent span id, sampling decision) and crosses process boundaries
+as a plain dict.  Shard workers serialize their span subtrees with
+:meth:`Span.to_dict`; the coordinator rebuilds them with
+:meth:`Span.from_dict` — counters are preserved *exactly* (they ride
+as ints), so stitched per-shard shares still sum to the merged run
+totals — and :func:`assign_span_ids` stamps unique span ids with
+well-formed parent links over the stitched tree.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
 from typing import Iterator
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["FrozenMetrics", "Span", "TraceContext", "Tracer",
+           "assign_span_ids"]
 
 #: counters exported per operator span (the cost-model counters plus
 #: the sort diagnostics; page/buffer I/O stays run-level — the buffer
@@ -34,6 +45,76 @@ __all__ = ["Span", "Tracer"]
 SPAN_COUNTERS = ("index_items", "sort_count", "sorted_items",
                  "sort_units", "buffered_results", "stack_tuple_ops",
                  "output_tuples", "join_count")
+
+
+class TraceContext:
+    """Identity of one distributed trace, propagated across processes.
+
+    ``trace_id`` names the whole trace; ``parent_span_id`` is the
+    coordinator-side span the receiver's subtree hangs under;
+    ``sampled`` carries the sampling decision (an unsampled context
+    still propagates the ids so logs can be joined to the trace).
+    Serializes to a plain dict — the shard pipe protocol and any
+    future network front-end ship it as data, never as live objects.
+    """
+
+    __slots__ = ("trace_id", "parent_span_id", "sampled")
+
+    def __init__(self, trace_id: str, parent_span_id: str = "",
+                 sampled: bool = True) -> None:
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+        self.sampled = sampled
+
+    @classmethod
+    def new(cls, sampled: bool = True) -> "TraceContext":
+        """Fresh 16-hex-digit trace id (random, collision-safe)."""
+        return cls(trace_id=uuid.uuid4().hex[:16], sampled=sampled)
+
+    def child(self, parent_span_id: str) -> "TraceContext":
+        """The context a downstream worker runs under."""
+        return TraceContext(self.trace_id, parent_span_id, self.sampled)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id,
+                "sampled": self.sampled}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        return cls(trace_id=str(payload.get("trace_id", "")),
+                   parent_span_id=str(payload.get("parent_span_id", "")),
+                   sampled=bool(payload.get("sampled", True)))
+
+    def __repr__(self) -> str:
+        return (f"TraceContext({self.trace_id!r}, "
+                f"parent={self.parent_span_id!r}, "
+                f"sampled={self.sampled})")
+
+
+class FrozenMetrics:
+    """Counter shares of a span rebuilt from its serialized form.
+
+    Stands in for the live
+    :class:`~repro.engine.metrics.ExecutionMetrics` a worker-side span
+    carried: exposes the :data:`SPAN_COUNTERS` as attributes and the
+    recorded ``simulated_cost()``, which is all
+    :func:`repro.obs.explain.build_analysis` and
+    :meth:`Span.counters` need.  Values are frozen at serialization
+    time — exact ints for the counters, so stitched shares still sum
+    precisely to the merged run totals.
+    """
+
+    __slots__ = SPAN_COUNTERS + ("_simulated_cost",)
+
+    def __init__(self, counters: dict[str, float],
+                 simulated_cost: float) -> None:
+        for name in SPAN_COUNTERS:
+            setattr(self, name, counters.get(name, 0))
+        self._simulated_cost = simulated_cost
+
+    def simulated_cost(self) -> float:
+        return self._simulated_cost
 
 
 class Span:
@@ -49,7 +130,7 @@ class Span:
 
     __slots__ = ("name", "detail", "seconds", "output_rows",
                  "estimated_cardinality", "estimated_cost", "metrics",
-                 "children")
+                 "children", "trace_id", "span_id", "parent_span_id")
 
     def __init__(self, name: str, detail: str = "",
                  estimated_cardinality: float | None = None,
@@ -63,6 +144,12 @@ class Span:
         self.estimated_cost = estimated_cost
         self.metrics = metrics
         self.children: list[Span] = []
+        #: distributed-trace identity, empty until the span tree is
+        #: stamped with :func:`assign_span_ids` (never on the untraced
+        #: hot path — ids are assigned once per finished trace).
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_span_id = ""
 
     # -- instrumentation hooks (hot path; called by the engines) ---------
 
@@ -113,6 +200,12 @@ class Span:
             "exclusive_seconds": self.exclusive_seconds(),
             "output_rows": self.output_rows,
         }
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+        if self.span_id:
+            payload["span_id"] = self.span_id
+        if self.parent_span_id:
+            payload["parent_span_id"] = self.parent_span_id
         if self.estimated_cardinality is not None:
             payload["estimated_cardinality"] = self.estimated_cardinality
         if self.estimated_cost is not None:
@@ -122,6 +215,35 @@ class Span:
             payload["simulated_cost"] = self.metrics.simulated_cost()
         payload["children"] = [child.to_dict() for child in self.children]
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span subtree from its :meth:`to_dict` form.
+
+        The wire format for cross-process span shipping (shard workers
+        serialize, the coordinator stitches): live engine metrics come
+        back as a :class:`FrozenMetrics` carrying the exact counter
+        shares and the recorded simulated cost, so
+        estimate-vs-actual analysis and differential counter checks
+        work identically on stitched trees.
+        """
+        span = cls(str(payload.get("name", "")),
+                   detail=str(payload.get("detail", "")),
+                   estimated_cardinality=payload.get(
+                       "estimated_cardinality"),
+                   estimated_cost=payload.get("estimated_cost"))
+        span.seconds = float(payload.get("seconds", 0.0))
+        span.output_rows = int(payload.get("output_rows", 0))
+        span.trace_id = str(payload.get("trace_id", ""))
+        span.span_id = str(payload.get("span_id", ""))
+        span.parent_span_id = str(payload.get("parent_span_id", ""))
+        counters = payload.get("counters")
+        if isinstance(counters, dict):
+            span.metrics = FrozenMetrics(
+                counters, float(payload.get("simulated_cost", 0.0)))
+        span.children = [cls.from_dict(child)
+                         for child in payload.get("children", ())]
+        return span
 
     def render(self, indent: int = 0) -> str:
         """Indented text tree of the subtree."""
@@ -144,6 +266,31 @@ class Span:
         return (f"Span({self.name!r}, rows={self.output_rows}, "
                 f"seconds={self.seconds:.6f}, "
                 f"children={len(self.children)})")
+
+
+def assign_span_ids(root: Span, trace_id: str,
+                    parent_span_id: str = "", prefix: str = "") -> None:
+    """Stamp a finished span tree with trace identity.
+
+    Pre-order numbering under *prefix* gives every span a unique id
+    (``<prefix><n>``) and each child a ``parent_span_id`` equal to its
+    parent's ``span_id`` — well-formed parentage by construction.
+    Worker subtrees are stamped with a per-shard prefix before
+    shipping, coordinator spans with their own, so ids stay unique
+    across the stitched trace.  Idempotent: re-stamping overwrites.
+    """
+    counter = 0
+
+    def stamp(span: Span, parent_id: str) -> None:
+        nonlocal counter
+        span.trace_id = trace_id
+        span.span_id = f"{prefix}{counter:x}"
+        span.parent_span_id = parent_id
+        counter += 1
+        for child in span.children:
+            stamp(child, span.span_id)
+
+    stamp(root, parent_span_id)
 
 
 class Tracer:

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.core.pattern import QueryPattern
 from repro.engine.metrics import ExecutionMetrics
 from repro.obs.registry import MetricsRegistry, SampleReservoir
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLObjective, SLOTracker
 from repro.service.cache import PlanCache, cache_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -67,22 +68,35 @@ class QueryService:
                  workers: int = 4,
                  registry: MetricsRegistry | None = None,
                  slow_query_seconds: float = SLOW_QUERY_SECONDS,
-                 slow_log_capacity: int = SLOW_LOG_CAPACITY) -> None:
+                 slow_log_capacity: int = SLOW_LOG_CAPACITY,
+                 trace_sample: int = 0,
+                 slo_objectives: "tuple[SLObjective, ...] | None"
+                 = None) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if slow_log_capacity < 0:
             raise ValueError("slow_log_capacity must be >= 0")
+        if trace_sample < 0:
+            raise ValueError("trace_sample must be >= 0")
         self.database = database
         self.cache = PlanCache(capacity=cache_capacity)
         self.default_workers = workers
         self.slow_query_seconds = slow_query_seconds
         self.slow_log_capacity = slow_log_capacity
+        #: trace every n-th service query (0 disables): sampled runs
+        #: execute with spans on and land in ``database.tracer`` — on a
+        #: sharded database that is a stitched cross-process trace.
+        self.trace_sample = trace_sample
+        #: declarative objectives evaluated over every served query.
+        self.slo = SLOTracker(slo_objectives or DEFAULT_OBJECTIVES)
         self._mutex = threading.Lock()
         self._latencies = SampleReservoir(LATENCY_RESERVOIR, seed=0)
         self._engine_totals = ExecutionMetrics(
             factors=database.cost_factors)
         self._queries = 0
         self._errors = 0
+        self._trace_clock = 0
+        self._querylog_drops_seen = 0
         self._slow_queries: deque[dict[str, object]] = deque(
             maxlen=slow_log_capacity)
         #: per-service registry by default so concurrent databases in
@@ -104,6 +118,27 @@ class QueryService:
         self._optimize_hist = self.registry.histogram(
             "repro_optimize_seconds",
             "Optimizer time per plan-cache miss, labelled by algorithm")
+        self._querylog_dropped = self.registry.counter(
+            "repro_querylog_dropped_total",
+            "Query-log records lost to a full queue or write errors")
+        # write-path histogram families are registered eagerly (their
+        # # TYPE lines appear in every scrape) and mirrored from the
+        # storage-side BucketRecorders by the collector when a
+        # transaction manager exists
+        from repro.txn.mutate import COMMIT_BYTE_BUCKETS
+        from repro.txn.wal import FSYNC_BUCKETS
+
+        self._fsync_hist = self.registry.histogram(
+            "repro_wal_fsync_seconds",
+            "WAL fsync latency (the commit durability point)",
+            buckets=FSYNC_BUCKETS)
+        self._commit_hist = self.registry.histogram(
+            "repro_txn_commit_seconds",
+            "End-to-end commit latency")
+        self._commit_bytes_hist = self.registry.histogram(
+            "repro_txn_commit_wal_bytes",
+            "WAL bytes appended per commit",
+            buckets=COMMIT_BYTE_BUCKETS)
         self.registry.register_collector(self._collect)
 
     # -- serving ----------------------------------------------------------
@@ -128,19 +163,33 @@ class QueryService:
         if submitted_at is not None:
             self._queue_wait_hist.observe(max(0.0,
                                               started - submitted_at))
+        traced = self._want_trace()
         try:
             pattern = self.database.compile(query)
             optimization = self.optimize_cached(pattern, algorithm,
                                                 **options)
             execution = self.database.execute(optimization.plan, pattern,
                                               engine=engine,
+                                              spans=traced,
                                               algorithm=algorithm)
         except BaseException:
+            elapsed = time.perf_counter() - started
             with self._mutex:
                 self._errors += 1
             self._errors_total.inc()
+            self.slo.observe_query(elapsed, error=True)
             raise
         elapsed = time.perf_counter() - started
+        span = execution.span
+        # a sharded database records its stitched trace inside
+        # execute(); a single-node database only stamps trace ids, so
+        # the sampled span is retained here
+        if (traced and span is not None
+                and not getattr(self.database,
+                                "records_traces_in_execute", False)):
+            self.database.tracer.record(span)
+        trace_id = span.trace_id if span is not None else ""
+        self.slo.observe_query(elapsed, trace_id=trace_id)
         self._queries_total.inc()
         self._latency_hist.observe(elapsed)
         slow = elapsed >= self.slow_query_seconds
@@ -158,9 +207,18 @@ class QueryService:
                     "engine": engine or self.database.engine,
                     "seconds": elapsed,
                     "rows": len(execution),
+                    "trace_id": trace_id,
                 })
         return QueryResult(optimization=optimization,
                            execution=execution)
+
+    def _want_trace(self) -> bool:
+        """True when this query is the n-th of a 1-in-n trace sample."""
+        if not self.trace_sample:
+            return False
+        with self._mutex:
+            self._trace_clock += 1
+            return self._trace_clock % self.trace_sample == 0
 
     def query_many(self, queries: Sequence["str | QueryPattern"],
                    algorithm: str = "DPP",
@@ -309,7 +367,22 @@ class QueryService:
                 **self.cache.stats.snapshot(),
             },
             "engine": engine,
+            "slo": self.slo.snapshot(),
         }
+
+    def traces(self, limit: int = 16) -> list[dict[str, object]]:
+        """Last *limit* retained traces, newest last, JSON-able.
+
+        Backs the ``/traces`` endpoint of ``stats --listen``: on a
+        sharded database each entry is one stitched cross-process
+        trace; on a single node, a per-operator span tree.
+        """
+        if limit < 1:
+            raise ValueError("limit must be at least 1")
+        tracer = getattr(self.database, "tracer", None)
+        if tracer is None:
+            return []
+        return [span.to_dict() for span in tracer.traces()[-limit:]]
 
     def _collect(self) -> None:
         """Registry collector: gauges from live pull-style sources.
@@ -377,6 +450,35 @@ class QueryService:
             registry.gauge(
                 "repro_wal_size_bytes",
                 "Current write-ahead log size").set(manager.wal.size)
+            # mirror the storage-side bucket recorders into the
+            # eagerly-registered histogram families (copied verbatim,
+            # never re-observed — the recorders are the truth)
+            manager.wal.stats.fsync_latency.mirror_into(self._fsync_hist)
+            manager.commit_latency.mirror_into(self._commit_hist)
+            manager.commit_bytes.mirror_into(self._commit_bytes_hist)
+            recovery = getattr(manager, "last_recovery", None)
+            if recovery is not None:
+                registry.gauge(
+                    "repro_recovery_replayed_pages",
+                    "Page images written back by the last WAL redo pass"
+                ).set(recovery.replayed_pages)
+                registry.gauge(
+                    "repro_recovery_seconds",
+                    "Wall time of the last WAL redo pass"
+                ).set(recovery.seconds)
+                registry.gauge(
+                    "repro_recovery_clean",
+                    "1 when the last recovery found an intact log with "
+                    "no dangling transaction"
+                ).set(1.0 if recovery.clean else 0.0)
+        log = getattr(self.database, "query_log", None)
+        if log is not None:
+            dropped = log.dropped
+            with self._mutex:
+                delta = dropped - self._querylog_drops_seen
+                self._querylog_drops_seen = dropped
+            if delta > 0:
+                self._querylog_dropped.inc(delta)
         engine_gauge = registry.gauge(
             "repro_engine_counter_total",
             "Aggregate cost-model counters over all queries served")
@@ -390,6 +492,7 @@ class QueryService:
         collect_extra = getattr(self.database, "collect_gauges", None)
         if collect_extra is not None:
             collect_extra(registry)
+        self.slo.collect(registry)
 
     def export_metrics(self, fmt: str = "prometheus") -> str:
         """Render the registry: ``"prometheus"`` text or ``"json"``."""

@@ -67,6 +67,9 @@ class ShardWorkerPool:
         self.timeout = timeout
         self._mutex = threading.Lock()
         self._closed = False
+        #: scatter/gather wall seconds of the most recent
+        #: :meth:`scatter_gather` call (coordinator-side span timing)
+        self.last_phase_seconds: dict[str, float] = {}
         context = mp.get_context(start_method)
         self._processes: list = []
         self._connections: list = []
@@ -156,23 +159,37 @@ class ShardWorkerPool:
     # -- queries ----------------------------------------------------------
 
     def scatter_gather(self, plan, pattern, engine: str,
-                       want_span: bool = False) -> list[dict]:
+                       want_span: bool = False,
+                       trace_context: "dict | None" = None
+                       ) -> list[dict]:
         """Fan one plan out to every shard; one payload per shard back.
 
         Serialized by the pool mutex: the pipe protocol is strictly
         one request, one reply per worker, so overlapping queries from
         service threads queue here instead of interleaving messages.
+        *trace_context* (a :class:`~repro.obs.spans.TraceContext`
+        dict) rides with the plan so sampled workers trace under the
+        coordinator's trace id.  Scatter and gather wall times of the
+        call are left on :attr:`last_phase_seconds` for the
+        coordinator's stitched trace (read under the same serialized
+        call, so the profile always belongs to the payloads returned).
         """
         with self._mutex:
             if self._closed:
                 raise ShardError("worker pool is closed")
             try:
+                scatter_started = time.perf_counter()
                 for shard_id in range(self.shards):
                     self._send(shard_id,
                                ("query", plan, pattern, engine,
-                                want_span))
+                                want_span, trace_context))
+                gather_started = time.perf_counter()
                 replies = [self._recv(shard_id)
                            for shard_id in range(self.shards)]
+                self.last_phase_seconds = {
+                    "scatter": gather_started - scatter_started,
+                    "gather": time.perf_counter() - gather_started,
+                }
             except ShardError:
                 self._teardown()
                 raise

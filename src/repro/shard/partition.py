@@ -129,6 +129,37 @@ class ShardPartition:
             space=space))
         return merge_tag_statistics(parts)
 
+    def statistics_provenance(self, tags: "list[str] | None" = None,
+                              grid: int = 16
+                              ) -> dict[str, list[dict]]:
+        """Which shard contributed which histogram mass, per tag.
+
+        For every tag (or just *tags*): one entry per contributing
+        shard with its node ``count`` and its ``fraction`` of the
+        merged total — the decomposition of
+        :meth:`merged_statistics`' cell-for-cell sums back into shard
+        shares.  The replicated document root's single extra
+        contribution is coordinator-side and excluded here, so
+        fractions describe only shard-owned mass.
+        """
+        wanted = None if tags is None else set(tags)
+        provenance: dict[str, list[dict]] = {}
+        for shard_id in range(self.shards):
+            for tag, stats in self.shard_statistics(
+                    shard_id, grid=grid).items():
+                if wanted is not None and tag not in wanted:
+                    continue
+                if stats.count <= 0:
+                    continue
+                provenance.setdefault(tag, []).append(
+                    {"shard_id": shard_id, "count": stats.count})
+        for contributions in provenance.values():
+            total = sum(entry["count"] for entry in contributions)
+            for entry in contributions:
+                entry["fraction"] = (entry["count"] / total
+                                     if total else 0.0)
+        return provenance
+
 
 def partition_document(document: XmlDocument,
                        shards: int) -> ShardPartition:

@@ -42,7 +42,8 @@ from repro.estimation.estimator import (CardinalityEstimator,
                                         PositionalEstimator)
 from repro.obs.explain import (ExplainReport, OperatorAnalysis,
                                build_analysis)
-from repro.obs.spans import Span, Tracer
+from repro.obs.spans import (Span, TraceContext, Tracer,
+                             assign_span_ids)
 from repro.service.service import QueryService
 from repro.shard.coordinator import (DEFAULT_TIMEOUT, ShardWorkerPool,
                                      merge_sorted_runs)
@@ -55,6 +56,11 @@ __all__ = ["ShardedDatabase"]
 
 class ShardedDatabase:
     """N durable shards behind one ``Database``-shaped facade."""
+
+    #: every ``spans=True`` execution records its stitched trace into
+    #: :attr:`tracer` directly (the stitch happens here, nowhere else);
+    #: layers above (service trace sampling) must not record again.
+    records_traces_in_execute = True
 
     def __init__(self, document: XmlDocument, shards: int = 2,
                  base_dir: "str | Path | None" = None,
@@ -234,19 +240,33 @@ class ShardedDatabase:
 
     def execute(self, plan: PhysicalPlan, pattern: QueryPattern,
                 engine: str | None = None, spans: bool = False,
-                algorithm: str = "") -> ExecutionResult:
+                algorithm: str = "",
+                trace_context: TraceContext | None = None
+                ) -> ExecutionResult:
         """Scatter *plan* to every shard, gather, k-way merge.
 
         Returns the merged result in global document order (see the
         module docstring for the two contract differences from a
-        single node).  With ``spans=True`` the span tree has one
-        ``shard[i]`` subtree per worker, each mirroring the plan.
+        single node).  With ``spans=True`` the execution runs as one
+        distributed trace: a :class:`TraceContext` (fresh, or the
+        caller's *trace_context*) rides with the plan to every worker,
+        each worker ships its span subtree back serialized, and the
+        subtrees are stitched under coordinator-side
+        scatter/gather/merge spans into a single trace recorded in
+        :attr:`tracer`.  The stitched tree's cost-counter shares sum
+        *exactly* to the merged ``ExecutionMetrics`` — counters cross
+        the pipe as ints, never re-measured.
         """
         self._require_open()
         engine = validate_engine(engine or self.engine)
+        trace: TraceContext | None = None
+        if spans:
+            trace = trace_context or TraceContext.new()
         started = time.perf_counter()
-        payloads = self.workers.scatter_gather(plan, pattern, engine,
-                                               want_span=spans)
+        payloads = self.workers.scatter_gather(
+            plan, pattern, engine, want_span=spans,
+            trace_context=trace.to_dict() if trace is not None
+            else None)
         node_ids = payloads[0]["node_ids"]
         for payload in payloads[1:]:
             if payload["node_ids"] != node_ids:
@@ -255,10 +275,12 @@ class ShardedDatabase:
                     f"{node_ids} vs {payload['node_ids']}")
         # workers ship merge keys (start-label tuples); rebuild region
         # rows from the coordinator's own copy of the document
+        merge_started = time.perf_counter()
         regions = self._regions_by_start()
         tuples = [tuple(regions[start] for start in key)
                   for key in merge_sorted_runs(
                       [payload["rows"] for payload in payloads])]
+        merge_seconds = time.perf_counter() - merge_started
         metrics = ExecutionMetrics(factors=self.cost_factors)
         for payload in payloads:
             for name, value in payload["counters"].items():
@@ -283,20 +305,58 @@ class ShardedDatabase:
                 for payload in payloads]
         span: Span | None = None
         if spans:
-            span = Span("ShardScatterGather",
-                        detail=f"scatter-gather[{self.shards} shards]")
-            span.seconds = metrics.wall_seconds
-            span.output_rows = len(tuples)
-            for payload in payloads:
-                wrapper = Span("Shard",
-                               detail=f"shard[{payload['shard_id']}]")
-                wrapper.seconds = payload["wall_seconds"]
-                wrapper.output_rows = len(payload["rows"])
-                if payload["span"] is not None:
-                    wrapper.children = [payload["span"]]
-                span.children.append(wrapper)
+            assert trace is not None
+            span = self._stitch_trace(trace, payloads, metrics,
+                                      len(tuples), merge_seconds)
+            self.tracer.record(span)
         return ExecutionResult(tuples=tuples, schema=Schema(node_ids),
                                metrics=metrics, span=span)
+
+    def _stitch_trace(self, trace: TraceContext, payloads: list[dict],
+                      metrics: ExecutionMetrics, merged_rows: int,
+                      merge_seconds: float) -> Span:
+        """Assemble one distributed trace from the shard payloads.
+
+        Structure: ``ShardScatterGather`` → [``scatter``, ``gather`` →
+        one ``shard[i]`` wrapper per worker → that worker's rebuilt
+        subtree, ``merge``].  Coordinator spans are stamped under the
+        ``c`` prefix *before* the worker subtrees (already stamped
+        ``s<shard>-…`` worker-side) are attached, then each subtree
+        root is re-parented under its wrapper — so span ids are unique
+        across the whole trace and parentage is well-formed without
+        ever re-stamping worker spans.  Coordinator spans carry no
+        metrics, so the trace's counter shares are exactly the worker
+        shares, which sum to the merged totals by construction.
+        """
+        phases = dict(getattr(self.workers, "last_phase_seconds", {}))
+        root = Span("ShardScatterGather",
+                    detail=f"scatter-gather[{self.shards} shards]")
+        root.seconds = metrics.wall_seconds
+        root.output_rows = merged_rows
+        scatter = Span("ShardScatter", detail="scatter")
+        scatter.seconds = phases.get("scatter", 0.0)
+        gather = Span("ShardGather", detail="gather")
+        gather.seconds = phases.get("gather", 0.0)
+        merge = Span("ShardMerge", detail="merge")
+        merge.seconds = merge_seconds
+        merge.output_rows = merged_rows
+        subtrees: list[tuple[Span, Span]] = []
+        for payload in payloads:
+            wrapper = Span("Shard",
+                           detail=f"shard[{payload['shard_id']}]")
+            wrapper.seconds = payload["wall_seconds"]
+            wrapper.output_rows = len(payload["rows"])
+            gather.children.append(wrapper)
+            if payload["span"] is not None:
+                subtrees.append((wrapper,
+                                 Span.from_dict(payload["span"])))
+        root.children = [scatter, gather, merge]
+        assign_span_ids(root, trace.trace_id, trace.parent_span_id,
+                        prefix="c")
+        for wrapper, subtree in subtrees:
+            subtree.parent_span_id = wrapper.span_id
+            wrapper.children = [subtree]
+        return root
 
     def query(self, query: "str | QueryPattern",
               algorithm: str = "DPP", engine: str | None = None,
@@ -327,7 +387,11 @@ class ShardedDatabase:
         The analyzed tree has a synthetic ``ShardScatterGather`` root
         whose children are one fully annotated per-shard plan analysis
         each — estimate-vs-actual drift is visible *per shard*, which
-        is exactly where partition skew shows up.
+        is exactly where partition skew shows up.  The report also
+        carries the merged statistics' *provenance* — which shard
+        contributed which share of each pattern tag's histogram mass —
+        so a skewed estimate can be traced to the shard that supplied
+        the mass behind it.
         """
         engine = validate_engine(engine or self.engine)
         started = time.perf_counter()
@@ -339,6 +403,13 @@ class ShardedDatabase:
         report = ExplainReport(query=label, algorithm=algorithm,
                                engine=engine, optimization=optimization,
                                parse_seconds=parse_seconds)
+        report.shards = {
+            "count": self.shards,
+            "statistics_provenance": self.partition.
+            statistics_provenance(
+                tags=[node.tag for node in pattern.nodes],
+                grid=self.histogram_grid),
+        }
         if not analyze:
             return report
         execution = self.execute(optimization.plan, pattern,
@@ -346,7 +417,7 @@ class ShardedDatabase:
         assert execution.span is not None
         plan = optimization.plan
         shard_analyses: list[OperatorAnalysis] = []
-        for wrapper in execution.span.children:
+        for wrapper in self._shard_wrappers(execution.span):
             children = [build_analysis(plan, child, pattern)
                         for child in wrapper.children]
             shard_analyses.append(OperatorAnalysis(
@@ -373,8 +444,16 @@ class ShardedDatabase:
             simulated_cost=0.0, counters={},
             children=shard_analyses)
         report.span = execution.span
-        self.tracer.record(execution.span)
         return report
+
+    @staticmethod
+    def _shard_wrappers(span: Span) -> list[Span]:
+        """The per-shard wrapper spans of one stitched trace."""
+        for child in span.children:
+            if child.name == "ShardGather":
+                return list(child.children)
+        return [child for child in span.children
+                if child.name == "Shard"]
 
     # -- serving & observability ------------------------------------------
 

@@ -11,7 +11,7 @@ queries never dirty pages, so any number of workers can share one
 persisted shard directory.  The protocol over the pipe is a tagged
 tuple per message:
 
-* ``("query", plan, pattern, engine, want_span)`` →
+* ``("query", plan, pattern, engine, want_span, trace_context)`` →
   ``("ok", payload)`` with the shard's rows sorted by their
   document-order merge key, or ``("error", type_name, message)``.
   Rows ship *as* their merge keys — plain tuples of start labels —
@@ -19,7 +19,14 @@ tuple per message:
   rebuilds each region by start label locally, and pickling flat int
   tuples through the pipe is several times cheaper than pickling
   region dataclasses (result shipping is the dominant scatter-gather
-  overhead).
+  overhead).  ``trace_context`` is ``None`` or a
+  :class:`~repro.obs.spans.TraceContext` dict; when present and
+  sampled, the worker runs the query under its own
+  :class:`~repro.obs.spans.Tracer`, stamps its span subtree with the
+  coordinator's trace id under a per-shard span-id prefix, and ships
+  the subtree back serialized (``span.to_dict()`` — counters ride as
+  exact ints, never as live metric objects) for the coordinator to
+  stitch.
 * ``("ping",)`` → ``("pong", shard_id)``
 * ``("stop",)`` → ``("bye",)`` and a clean exit
 * ``("exit",)`` → ``os._exit(1)``, no reply — a crash hook for the
@@ -51,6 +58,7 @@ def worker_main(shard_id: int, pages_path: str, conn) -> None:
     """Entry point of one shard worker process."""
     # imports deferred below the module guard keep spawn startup lean
     from repro.api import Database
+    from repro.obs.spans import TraceContext, Tracer, assign_span_ids
     from repro.storage.disk import FileDisk
 
     try:
@@ -59,6 +67,10 @@ def worker_main(shard_id: int, pages_path: str, conn) -> None:
         _send_error(conn, error)
         conn.close()
         return
+    # the worker's own trace ring: every sampled query this worker
+    # serves is retained locally (diagnosable in-process) in addition
+    # to the subtree shipped back for coordinator-side stitching
+    tracer = Tracer()
     conn.send(("ready", shard_id, len(database.document or ())))
     while True:
         try:
@@ -78,11 +90,14 @@ def worker_main(shard_id: int, pages_path: str, conn) -> None:
             conn.send(("error", "ShardError",
                        f"unknown request {request[0]!r}"))
             continue
-        _, plan, pattern, engine, want_span = request
+        _, plan, pattern, engine, want_span, context = request
+        trace = (TraceContext.from_dict(context)
+                 if context is not None else None)
+        sampled = want_span or (trace is not None and trace.sampled)
         cpu_started = time.process_time()
         try:
             result = database.execute(plan, pattern, engine=engine,
-                                      spans=want_span)
+                                      spans=sampled)
         except BaseException as error:  # noqa: BLE001 - stay serving
             _send_error(conn, error)
             continue
@@ -90,6 +105,18 @@ def worker_main(shard_id: int, pages_path: str, conn) -> None:
         # they time-slice, wall inflates with contention, and CPU time
         # is what a worker would take with a core of its own
         cpu_seconds = time.process_time() - cpu_started
+        span_payload = None
+        if result.span is not None:
+            # stamp under a per-shard prefix so span ids stay unique
+            # across the stitched trace; the coordinator re-parents
+            # the subtree root under its shard wrapper span
+            assign_span_ids(
+                result.span,
+                trace.trace_id if trace is not None else "",
+                trace.parent_span_id if trace is not None else "",
+                prefix=f"s{shard_id}-")
+            tracer.record(result.span)
+            span_payload = result.span.to_dict()
         rows = sorted(merge_key(row) for row in result.tuples)
         conn.send(("ok", {
             "shard_id": shard_id,
@@ -101,7 +128,7 @@ def worker_main(shard_id: int, pages_path: str, conn) -> None:
             "buffer_misses": result.metrics.buffer_misses,
             "wall_seconds": result.metrics.wall_seconds,
             "cpu_seconds": cpu_seconds,
-            "span": result.span,
+            "span": span_payload,
         }))
     conn.close()
 

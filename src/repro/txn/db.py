@@ -82,5 +82,6 @@ def open_database(path: str | os.PathLike,
         database, wal,
         next_txn_id=max(result.committed, default=0) + 1)
     manager.last_recovery = result
+    manager.metrics.recovery_seconds += result.seconds
     database._txn_manager = manager
     return database

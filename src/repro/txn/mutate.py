@@ -39,7 +39,8 @@ from typing import TYPE_CHECKING, Iterable
 from repro.errors import TransactionError
 from repro.document.document import XmlDocument
 from repro.document.node import NodeRecord, Region
-from repro.obs.spans import Span
+from repro.obs.registry import BucketRecorder
+from repro.obs.spans import Span, TraceContext, assign_span_ids
 from repro.txn.labels import DEFAULT_GAP, pick_gap, relabel
 from repro.txn.stats import IncrementalStatistics
 from repro.txn.wal import WriteAheadLog
@@ -47,10 +48,23 @@ from repro.txn.wal import WriteAheadLog
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api import Database
 
+#: commit-size bucket bounds (bytes): one catalog-only commit through
+#: multi-megabyte bulk loads.
+COMMIT_BYTE_BUCKETS = (512.0, 4096.0, 16384.0, 65536.0, 262144.0,
+                       1048576.0, 4194304.0, 16777216.0)
+
 
 @dataclass
 class TxnMetrics:
-    """Lifetime write-path counters (surfaced via ``Database.stats``)."""
+    """Lifetime write-path counters (surfaced via ``Database.stats``).
+
+    The ``*_seconds`` fields are cumulative per-stage wall time of the
+    commit pipeline (validate → copy-on-write → WAL append+fsync →
+    publish); every field here is exported as one
+    ``repro_txn_counter_total{counter=...}`` series by the service
+    collector, so the stage split is scrape-visible without bespoke
+    wiring.
+    """
 
     begun: int = 0
     committed: int = 0
@@ -62,6 +76,14 @@ class TxnMetrics:
     wal_bytes: int = 0
     relabels: int = 0
     checkpoints: int = 0
+    validate_seconds: float = 0.0
+    cow_seconds: float = 0.0
+    wal_seconds: float = 0.0
+    fsync_seconds: float = 0.0
+    publish_seconds: float = 0.0
+    commit_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+    recovery_seconds: float = 0.0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -348,6 +370,11 @@ class TransactionManager:
         self.db = db
         self.wal = wal if wal is not None else WriteAheadLog(None)
         self.metrics = TxnMetrics()
+        #: per-commit distributions, mirrored into registry histograms
+        #: by the service collector (guarded by the writer mutex, like
+        #: everything else commit-side)
+        self.commit_latency = BucketRecorder()
+        self.commit_bytes = BucketRecorder(COMMIT_BYTE_BUCKETS)
         self._writer = threading.Lock()
         self._next_txn_id = next_txn_id
         #: set by :func:`repro.txn.db.open_database` after a redo pass.
@@ -417,15 +444,19 @@ class TransactionManager:
                                 statistics_epoch=db.statistics_epoch,
                                 seconds=time.perf_counter() - started)
         span = Span("commit", detail=f"txn {txn.txn_id}")
-        prepare_span = Span("prepare",
-                            detail=f"+{len(added)} -{len(removed)} nodes")
-        prepare_started = time.perf_counter()
         # 1. validate: XmlDocument enforces every labelling invariant
         # before a single byte reaches storage or the log.
+        validate_span = Span(
+            "validate", detail=f"+{len(added)} -{len(removed)} nodes")
+        validate_started = time.perf_counter()
         new_document = XmlDocument(
             sorted(txn._nodes.values(), key=lambda node: node.start),
             name=db.name)
+        validate_span.seconds = (time.perf_counter()
+                                 - validate_started)
         # 2. copy-on-write storage: the delta lands in fresh pages only.
+        cow_span = Span("cow")
+        cow_started = time.perf_counter()
         pages_before = db.disk.page_count
         store = db.store.clone_for_write()
         store.remove_nodes(removed)
@@ -443,12 +474,15 @@ class TransactionManager:
         deleted = store.deleted_rids()
         if deleted:
             payload["deleted_rids"] = deleted
-        prepare_span.seconds = time.perf_counter() - prepare_started
+        cow_span.seconds = time.perf_counter() - cow_started
+        cow_span.detail = (f"{db.disk.page_count - pages_before} "
+                           f"fresh pages")
         # 3. log + fsync: after append_commit returns, the transaction
         # survives any crash; before it, recovery discards it wholesale.
         wal_span = Span("wal")
         wal_started = time.perf_counter()
         wal_before = self.wal.size
+        sync_before = self.wal.stats.sync_seconds
         self.wal.append_begin(txn.txn_id)
         pages_logged = 0
         for page_id in range(pages_before, db.disk.page_count):
@@ -462,8 +496,12 @@ class TransactionManager:
         self.wal.append_catalog(txn.txn_id, payload)
         self.wal.append_commit(txn.txn_id)
         wal_bytes = self.wal.size - wal_before
+        fsync_seconds = self.wal.stats.sync_seconds - sync_before
         wal_span.seconds = time.perf_counter() - wal_started
         wal_span.detail = f"{pages_logged} pages, {wal_bytes} bytes"
+        fsync_span = Span("fsync")
+        fsync_span.seconds = fsync_seconds
+        wal_span.children = [fsync_span]
         # 4. publish atomically: readers see old or new, never a mix.
         publish_span = Span("publish")
         publish_started = time.perf_counter()
@@ -480,9 +518,14 @@ class TransactionManager:
         publish_span.seconds = time.perf_counter() - publish_started
         publish_span.detail = f"epoch {db.statistics_epoch}"
         seconds = time.perf_counter() - started
-        span.children = [prepare_span, wal_span, publish_span]
+        span.children = [validate_span, cow_span, wal_span,
+                         publish_span]
         span.seconds = seconds
         span.output_rows = len(added) + len(removed)
+        # the write path is its own (single-process) trace; stamping
+        # gives commits joinable trace ids in /traces and the audit log
+        assign_span_ids(span, TraceContext.new().trace_id,
+                        prefix=f"t{txn.txn_id}-")
         db.tracer.record(span)
         self.metrics.committed += 1
         self.metrics.nodes_added += len(added)
@@ -490,6 +533,14 @@ class TransactionManager:
         self.metrics.pages_logged += pages_logged
         self.metrics.wal_bytes += wal_bytes
         self.metrics.relabels += txn.relabels
+        self.metrics.validate_seconds += validate_span.seconds
+        self.metrics.cow_seconds += cow_span.seconds
+        self.metrics.wal_seconds += wal_span.seconds
+        self.metrics.fsync_seconds += fsync_seconds
+        self.metrics.publish_seconds += publish_span.seconds
+        self.metrics.commit_seconds += seconds
+        self.commit_latency.observe(seconds)
+        self.commit_bytes.observe(wal_bytes)
         return CommitResult(
             txn_id=txn.txn_id, added=len(added), removed=len(removed),
             pages_logged=pages_logged, wal_bytes=wal_bytes,
@@ -508,6 +559,7 @@ class TransactionManager:
         or the new, empty one.  Returns the bytes dropped from the log.
         """
         with self._writer:
+            started = time.perf_counter()
             dropped = self.wal.size
             self.db.persist()
             self.wal.truncate(0)
@@ -516,7 +568,15 @@ class TransactionManager:
                 "node_count": self.db.store.node_count,
                 "statistics_epoch": self.db.statistics_epoch,
             })
+            seconds = time.perf_counter() - started
             self.metrics.checkpoints += 1
+            self.metrics.checkpoint_seconds += seconds
+            span = Span("checkpoint",
+                        detail=f"dropped {dropped} WAL bytes")
+            span.seconds = seconds
+            assign_span_ids(span, TraceContext.new().trace_id,
+                            prefix="ckpt-")
+            self.db.tracer.record(span)
             return dropped
 
     def close(self) -> None:

@@ -20,6 +20,7 @@ which pages hold the element store and posting chains.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.txn import wal as _wal
@@ -45,6 +46,8 @@ class RecoveryResult:
     replayed_pages: int = 0
     #: log bytes scanned (intact prefix).
     scanned_bytes: int = 0
+    #: wall seconds the redo pass took (surfaced as a registry gauge).
+    seconds: float = 0.0
 
     @property
     def clean(self) -> bool:
@@ -61,6 +64,7 @@ def recover(disk: DiskManager, wal: WriteAheadLog) -> RecoveryResult:
     leaving a partial frame in place would strand every later commit
     behind it, unreachable to the next replay.
     """
+    started = time.perf_counter()
     result = RecoveryResult()
     # txn id -> buffered (page records, catalog payload)
     in_flight: dict[int, tuple[list[WalRecord], list[WalRecord]]] = {}
@@ -93,4 +97,5 @@ def recover(disk: DiskManager, wal: WriteAheadLog) -> RecoveryResult:
         disk.sync()
     if result.torn_offset is not None:
         wal.truncate(result.torn_offset)
+    result.seconds = time.perf_counter() - started
     return result

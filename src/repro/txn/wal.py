@@ -25,11 +25,13 @@ import io
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import StorageError
+from repro.obs.registry import BucketRecorder
 from repro.storage.disk import PAGE_SIZE
 
 _MAGIC = b"WL"
@@ -99,9 +101,22 @@ class WalRecord:
             f"record type {self.type_name} carries no JSON payload")
 
 
+#: fsync-latency bucket bounds (seconds): sub-millisecond SSD syncs
+#: through pathological multi-second stalls.
+FSYNC_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+
 @dataclass
 class WalStats:
-    """Lifetime counters of one log handle (reported via obs gauges)."""
+    """Lifetime counters of one log handle (reported via obs gauges).
+
+    ``sync_seconds`` / ``last_sync_seconds`` time the fsync calls (the
+    commit durability point — the write path's dominant latency), and
+    ``fsync_latency`` accumulates the same observations into
+    Prometheus-shaped cumulative buckets for the service collector to
+    mirror into a registry histogram.
+    """
 
     records_written: int = 0
     bytes_written: int = 0
@@ -109,13 +124,23 @@ class WalStats:
     commits: int = 0
     checkpoints: int = 0
     truncations: int = 0
+    sync_seconds: float = 0.0
+    last_sync_seconds: float = 0.0
     records_by_type: dict = field(default_factory=dict)
+    fsync_latency: BucketRecorder = field(
+        default_factory=lambda: BucketRecorder(FSYNC_BUCKETS))
 
     def _count(self, record_type: int, size: int) -> None:
         self.records_written += 1
         self.bytes_written += size
         name = _RECORD_NAMES.get(record_type, str(record_type))
         self.records_by_type[name] = self.records_by_type.get(name, 0) + 1
+
+    def _time_sync(self, seconds: float) -> None:
+        self.syncs += 1
+        self.sync_seconds += seconds
+        self.last_sync_seconds = seconds
+        self.fsync_latency.observe(seconds)
 
 
 class WriteAheadLog:
@@ -160,10 +185,11 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Flush and fsync the log (the commit durability point)."""
         self._check_open()
+        started = time.perf_counter()
         self._file.flush()
         if self._path is not None:
             os.fsync(self._file.fileno())
-        self.stats.syncs += 1
+        self.stats._time_sync(time.perf_counter() - started)
 
     def close(self) -> None:
         if not self._closed:
