@@ -452,6 +452,7 @@ class Database:
     def explain(self, query: str | QueryPattern,
                 algorithm: str = "DPP", analyze: bool = False,
                 engine: str | None = None,
+                plan_space: bool = False, top_k: int = 3,
                 **options: object) -> ExplainReport:
         """EXPLAIN (ANALYZE): the chosen plan, optionally annotated
         with measured per-operator cardinality, cost and wall time.
@@ -463,18 +464,32 @@ class Database:
         sum exactly to the run's :class:`ExecutionMetrics`).  The
         query-level span tree (parse / optimize / execute stages) is
         recorded on :attr:`Database.tracer`.
+
+        With ``plan_space=True`` the optimization records its search
+        space and the report carries a
+        :class:`~repro.obs.planspace.PlanSpaceReport`: the *top_k*
+        cheapest alternative plans with cost deltas, the pruning
+        taxonomy, memo size, and why the winner won.
         """
         engine = validate_engine(engine or self.engine)
         started = time.perf_counter()
         pattern = self.compile(query)
         parse_seconds = time.perf_counter() - started
         label = query if isinstance(query, str) else repr(pattern)
+        recorder = None
+        if plan_space:
+            from repro.core.planspace import PlanSpaceRecorder
+
+            recorder = PlanSpaceRecorder()
+            options = dict(options)
+            options["planspace"] = recorder
         optimization = self.optimize(pattern, algorithm=algorithm,
                                      **options)
         report = ExplainReport(query=label, algorithm=algorithm,
                                engine=engine, optimization=optimization,
                                parse_seconds=parse_seconds)
         if not analyze:
+            self._attach_plan_space(report, recorder, label, top_k)
             return report
         execution = self.execute(optimization.plan, pattern,
                                  engine=engine, spans=True)
@@ -504,7 +519,42 @@ class Database:
                         or TraceContext.new().trace_id)
         report.span = query_span
         self.tracer.record(query_span)
+        self._attach_plan_space(report, recorder, label, top_k)
         return report
+
+    @staticmethod
+    def _attach_plan_space(report: ExplainReport, recorder,
+                           label: str, top_k: int) -> None:
+        """Render a filled recorder onto *report* (no-op without one)."""
+        if recorder is None:
+            return
+        from repro.obs.planspace import build_plan_space_report
+
+        report.plan_space = build_plan_space_report(
+            recorder, query=label, top_k=top_k,
+            trace_id=report.trace_id)
+
+    def whatif(self, query: str | QueryPattern,
+               algorithm: str = "DPP",
+               factors: "CostFactors | None" = None,
+               tag_scale: "dict[str, float] | None" = None,
+               exact: bool = False,
+               force_plan: str | None = None):
+        """Re-optimize *query* under hypothetical conditions.
+
+        Compares the current winner with the plan chosen under any
+        combination of replacement cost *factors*, per-tag cardinality
+        scaling (``tag_scale={"item": 10.0}``), ground-truth
+        statistics (``exact=True``), or a *force_plan* canonical
+        digest priced as-if chosen.  Nothing is mutated: the plan
+        cache, statistics epoch, and live cost factors are untouched.
+        Returns a :class:`~repro.obs.planspace.WhatIfResult`.
+        """
+        from repro.obs.planspace import run_whatif
+
+        return run_whatif(self, query, algorithm=algorithm,
+                          factors=factors, tag_scale=tag_scale,
+                          exact=exact, force_plan=force_plan)
 
     # -- cost-model control ------------------------------------------------
 

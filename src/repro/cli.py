@@ -13,7 +13,12 @@ Commands:
   log attached (or ``--read`` an existing log back).
 * ``calibrate``— fit cost-model factors from a traced query log.
 * ``audit``    — replay a query log through the optimizer and flag
-  plan flips and cardinality-estimate drift (exit 3 on flips).
+  plan flips and cardinality-estimate drift (exit 3 on flips);
+  ``--why`` attaches per-flip forensics (structural plan diff plus
+  the cost crossover under current statistics).
+* ``whatif``   — re-optimize a query (or every logged query) under
+  hypothetical cost factors, scaled statistics, or a forced plan,
+  without touching the database.
 * ``ingest``   — append documents to a durable database directory in
   WAL-logged transactions; ``--crash-after``/``--torn-tail`` inject
   crashes (exit 17) for recovery drills.
@@ -40,6 +45,11 @@ Examples::
         --output query-log.jsonl
     python -m repro calibrate --log query-log.jsonl --json calib.json
     python -m repro audit --dataset mbench --log query-log.jsonl
+    python -m repro audit --dataset mbench --log query-log.jsonl --why
+    python -m repro explain --dataset pers --plan-space --top-k 5 \
+        "//manager//employee/name"
+    python -m repro whatif --dataset pers --factor f_io=64 \
+        --scale employee=8 "//manager//employee/name"
     python -m repro ingest --db ./persdb --dataset pers --batches 4
     python -m repro audit --db ./persdb --log query-log.jsonl
     python -m repro checkpoint --db ./persdb
@@ -165,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "process-based shards and report "
                               "per-shard actuals plus statistics "
                               "provenance (0 = single node)")
+    explain.add_argument("--plan-space", action="store_true",
+                         help="record the optimizer's search space "
+                              "and report top-k alternative plans, "
+                              "pruning effectiveness, and why the "
+                              "winner won")
+    explain.add_argument("--top-k", type=int, default=3, metavar="K",
+                         help="alternative plans to rank with "
+                              "--plan-space (default 3)")
 
     stats = commands.add_parser(
         "stats", help="document statistics and service metrics")
@@ -181,10 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--listen", type=int, default=0, metavar="PORT",
                        help="after --serve, keep serving /metrics "
                             "(Prometheus text), /traces (retained "
-                            "trace JSON) and /slo (objective "
-                            "compliance JSON) over HTTP on "
-                            "127.0.0.1:PORT until Ctrl-C (exit 2 if "
-                            "the port is taken)")
+                            "trace JSON), /slo (objective compliance "
+                            "JSON), /planspace (sampled plan-space "
+                            "JSON) and /healthz (liveness JSON) over "
+                            "HTTP on 127.0.0.1:PORT until Ctrl-C "
+                            "(exit 2 if the port is taken)")
     stats.add_argument("--shards", type=int, default=0, metavar="N",
                        help="serve against the corpus partitioned "
                             "across N process-based shards; traced "
@@ -194,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="K",
                        help="trace every K-th served query into the "
                             "/traces ring (default 0 = never)")
+    stats.add_argument("--planspace-sample", type=int, default=0,
+                       metavar="K",
+                       help="record the plan space of every K-th "
+                            "plan-cache miss into the /planspace "
+                            "ring (default 0 = never)")
     add_service_flags(stats)
 
     generate = commands.add_parser(
@@ -212,6 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(BENCH_DRIVERS) + ["engines",
                                                         "ingest"])
     bench.add_argument("--pers-nodes", type=int, default=2000)
+    bench.add_argument("--seed", type=int, default=42,
+                       help="data-set generation seed (default 42)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed runs per engine ('engines' only)")
     bench.add_argument("--json", metavar="FILE", default=None,
@@ -289,6 +315,47 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--json", metavar="FILE", default=None,
                        help="also write the audit report as JSON "
                             "('-' for stdout)")
+    audit.add_argument("--why", action="store_true",
+                       help="attach forensics to every flip: the "
+                            "structural plan diff and the cost "
+                            "crossover of the logged plan re-priced "
+                            "under current statistics")
+    audit.add_argument("--factor", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="replay under these cost-factor "
+                            "overrides (deliberate perturbation, "
+                            "e.g. for flip drills); repeatable")
+
+    whatif = commands.add_parser(
+        "whatif", help="re-optimize a query under hypothetical cost "
+                       "factors, scaled statistics, or a forced plan "
+                       "(nothing on the database is mutated)")
+    add_source(whatif)
+    whatif.add_argument("xpath", nargs="?", default=None,
+                        help="ad-hoc query (omit with --log to replay "
+                             "every distinct logged query)")
+    whatif.add_argument("--log", metavar="FILE", default=None,
+                        help="replay every distinct query of this "
+                             "query log instead of one XPath")
+    whatif.add_argument("--algorithm", choices=ALGORITHMS,
+                        default="DPP")
+    whatif.add_argument("--factor", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="override one cost factor (f_index, "
+                             "f_sort, f_io, f_stack); repeatable")
+    whatif.add_argument("--scale", action="append", default=[],
+                        metavar="TAG=K",
+                        help="scale one tag's cardinality statistics "
+                             "by K; repeatable")
+    whatif.add_argument("--exact", action="store_true",
+                        help="estimate with exact cardinalities "
+                             "instead of histograms")
+    whatif.add_argument("--force", metavar="DIGEST", default=None,
+                        help="also price this canonical plan digest "
+                             "as-if chosen (single query only)")
+    whatif.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the result(s) as JSON "
+                             "('-' for stdout)")
 
     trace = commands.add_parser(
         "trace", help="watch DPP optimize (Example 3.6 narrative)")
@@ -488,6 +555,8 @@ def _run_query(database, arguments: argparse.Namespace, out: IO[str],
 def _command_explain(arguments: argparse.Namespace, out: IO[str]) -> int:
     if arguments.shards < 0:
         raise ReproError("--shards must be >= 0")
+    if arguments.top_k < 0:
+        raise ReproError("--top-k must be >= 0")
     if arguments.shards:
         if arguments.trace:
             raise ReproError("--trace inspects the single-node "
@@ -500,7 +569,9 @@ def _command_explain(arguments: argparse.Namespace, out: IO[str]) -> int:
             report = database.explain(arguments.xpath,
                                       algorithm=arguments.algorithm,
                                       analyze=arguments.analyze,
-                                      engine=arguments.engine)
+                                      engine=arguments.engine,
+                                      plan_space=arguments.plan_space,
+                                      top_k=arguments.top_k)
             out.write(report.render() + "\n")
             if arguments.json:
                 payload = json.dumps(report.to_dict(), indent=2,
@@ -533,13 +604,16 @@ def _command_explain(arguments: argparse.Namespace, out: IO[str]) -> int:
         out.write(f"chosen plan (estimated "
                   f"{result.estimated_cost:,.0f}):\n")
         out.write(result.explain() + "\n")
-        if not (arguments.analyze or arguments.json):
+        if not (arguments.analyze or arguments.json
+                or arguments.plan_space):
             return 0
-    if arguments.analyze or arguments.json:
+    if arguments.analyze or arguments.json or arguments.plan_space:
         report = database.explain(arguments.xpath,
                                   algorithm=arguments.algorithm,
                                   analyze=arguments.analyze,
-                                  engine=arguments.engine)
+                                  engine=arguments.engine,
+                                  plan_space=arguments.plan_space,
+                                  top_k=arguments.top_k)
         out.write(report.render() + "\n")
         if arguments.json:
             payload = json.dumps(report.to_dict(), indent=2,
@@ -590,20 +664,25 @@ def _serve_paper_workload(database: Database, dataset: str | None,
 
 def _run_metrics_server(database: Database, port: int,
                         out: IO[str]) -> int:
-    """Serve /metrics, /traces and /slo until Ctrl-C.
+    """Serve /metrics, /traces, /slo, /planspace and /healthz.
 
     ``/metrics`` is the Prometheus text format; ``/traces`` returns
     the retained query traces (stitched cross-process trees on a
-    sharded database) and ``/slo`` the objective compliance snapshot
-    with its per-bucket trace exemplars, both as JSON.
+    sharded database), ``/slo`` the objective compliance snapshot
+    with its per-bucket trace exemplars, and ``/planspace`` the
+    sampled plan-space reports (empty unless the service runs with
+    ``--planspace-sample``), all as JSON.  ``/healthz`` is the
+    liveness probe: 200 with uptime and the statistics epoch.
 
     Binds 127.0.0.1 only (an observability endpoint, not a public
     API).  A taken port is an operator error, not a crash: report it
     and exit 2 so scripts can tell it from query failures (exit 1).
     """
+    import time as _time
     from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
     service = database.service
+    started = _time.monotonic()
 
     class MetricsHandler(BaseHTTPRequestHandler):
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -620,6 +699,19 @@ def _run_metrics_server(database: Database, port: int,
             elif route == "/slo":
                 body = json.dumps(service.slo.snapshot(), indent=2,
                                   sort_keys=True).encode("utf-8")
+                content_type = "application/json"
+            elif route == "/planspace":
+                body = json.dumps({"planspace": service.planspace()},
+                                  indent=2,
+                                  sort_keys=True).encode("utf-8")
+                content_type = "application/json"
+            elif route == "/healthz":
+                body = json.dumps({
+                    "status": "ok",
+                    "uptime_seconds": _time.monotonic() - started,
+                    "statistics_epoch": database.statistics_epoch,
+                    "queries": service.snapshot()["queries"],
+                }, indent=2, sort_keys=True).encode("utf-8")
                 content_type = "application/json"
             else:
                 self.send_error(404)
@@ -640,7 +732,8 @@ def _run_metrics_server(database: Database, port: int,
         print(f"error: cannot listen on 127.0.0.1:{port}: {exc}",
               file=sys.stderr)
         return 2
-    out.write(f"serving /metrics, /traces and /slo on "
+    out.write(f"serving /metrics, /traces, /slo, /planspace and "
+              f"/healthz on "
               f"http://127.0.0.1:{server.server_address[1]} "
               f"(Ctrl-C to stop)\n")
     try:
@@ -657,9 +750,13 @@ def _command_stats(arguments: argparse.Namespace, out: IO[str]) -> int:
         raise ReproError("--shards must be >= 0")
     if arguments.trace_sample < 0:
         raise ReproError("--trace-sample must be >= 0")
+    if arguments.planspace_sample < 0:
+        raise ReproError("--planspace-sample must be >= 0")
     options = _service_options(arguments)
     if arguments.trace_sample:
         options["trace_sample"] = arguments.trace_sample
+    if arguments.planspace_sample:
+        options["planspace_sample"] = arguments.planspace_sample
     if arguments.shards:
         from repro.shard.sharded import ShardedDatabase
 
@@ -714,7 +811,8 @@ def _command_generate(arguments: argparse.Namespace,
 
 
 def _command_bench(arguments: argparse.Namespace, out: IO[str]) -> int:
-    setup = ExperimentSetup(pers_nodes=arguments.pers_nodes)
+    setup = ExperimentSetup(pers_nodes=arguments.pers_nodes,
+                            seed=arguments.seed)
     if arguments.artifact == "engines" and arguments.shards:
         from repro.bench.shard import (render_shard_report,
                                        shard_scaling_report,
@@ -837,14 +935,103 @@ def _command_audit(arguments: argparse.Namespace, out: IO[str]) -> int:
     from repro.obs.querylog import read_query_log
 
     database = _open_database(arguments)
+    factors = _whatif_factors(
+        database, _parse_kv_floats(arguments.factor, "--factor"))
+    if factors is not None:
+        database.set_cost_factors(factors)
     scan = read_query_log(arguments.log)
     report = audit_records(database, scan.records,
                            algorithm=arguments.algorithm,
-                           registry=database.service.registry)
+                           registry=database.service.registry,
+                           why=arguments.why)
     out.write(report.render() + "\n")
     if arguments.json:
         _write_json_payload(report.to_dict(), arguments.json, out)
     return 3 if report.plan_flips else 0
+
+
+def _parse_kv_floats(pairs: list[str], flag: str) -> dict[str, float]:
+    """``NAME=VALUE`` option lists -> {name: float} (shared parser)."""
+    parsed: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ReproError(f"{flag} expects NAME=VALUE, got {pair!r}")
+        try:
+            parsed[name] = float(value)
+        except ValueError:
+            raise ReproError(
+                f"{flag} {name}: {value!r} is not a number") from None
+    return parsed
+
+
+def _whatif_factors(database: Database,
+                    overrides: dict[str, float]):
+    """Current cost factors with the --factor overrides applied."""
+    import dataclasses
+
+    from repro.core.cost import COST_FACTOR_NAMES
+
+    if not overrides:
+        return None
+    unknown = set(overrides) - set(COST_FACTOR_NAMES)
+    if unknown:
+        raise ReproError(
+            f"unknown cost factor(s) {', '.join(sorted(unknown))}; "
+            f"expected {', '.join(COST_FACTOR_NAMES)}")
+    return dataclasses.replace(database.cost_factors, **overrides)
+
+
+def _command_whatif(arguments: argparse.Namespace, out: IO[str]) -> int:
+    if bool(arguments.xpath) == bool(arguments.log):
+        raise ReproError("whatif needs exactly one of an XPath "
+                         "argument or --log FILE")
+    database = _open_database(arguments)
+    factors = _whatif_factors(
+        database, _parse_kv_floats(arguments.factor, "--factor"))
+    tag_scale = _parse_kv_floats(arguments.scale, "--scale")
+    if arguments.log:
+        if arguments.force:
+            raise ReproError("--force applies to a single query; "
+                             "drop --log")
+        from repro.obs.querylog import read_query_log
+
+        scan = read_query_log(arguments.log)
+        queries: dict[str, None] = {}
+        for record in scan.records:
+            query = record.get("query")
+            if isinstance(query, str) and query:
+                queries.setdefault(query)
+        targets = list(queries)
+    else:
+        targets = [arguments.xpath]
+    results = []
+    flips = 0
+    skipped = 0
+    for query in targets:
+        try:
+            result = database.whatif(query,
+                                     algorithm=arguments.algorithm,
+                                     factors=factors,
+                                     tag_scale=tag_scale,
+                                     exact=arguments.exact,
+                                     force_plan=arguments.force)
+        except ReproError:
+            skipped += 1
+            continue
+        results.append(result)
+        flips += result.flipped
+        out.write(result.render() + "\n")
+    if len(targets) > 1 or skipped:
+        out.write(f"what-if: {len(results)} queries, {flips} "
+                  f"flip(s)"
+                  + (f", {skipped} skipped" if skipped else "")
+                  + "\n")
+    if arguments.json:
+        payload: object = (results[0].to_dict() if len(results) == 1
+                           else [r.to_dict() for r in results])
+        _write_json_payload(payload, arguments.json, out)
+    return 0
 
 
 def _command_trace(arguments: argparse.Namespace, out: IO[str]) -> int:
@@ -965,6 +1152,7 @@ _COMMANDS = {
     "log": _command_log,
     "calibrate": _command_calibrate,
     "audit": _command_audit,
+    "whatif": _command_whatif,
     "trace": _command_trace,
     "ingest": _command_ingest,
     "checkpoint": _command_checkpoint,

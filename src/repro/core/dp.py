@@ -15,6 +15,7 @@ from repro.errors import OptimizerError
 from repro.core.enumeration import (EnumerationContext, build_plan,
                                     possible_moves)
 from repro.core.optimizer import Optimizer, register
+from repro.core.planspace import PRUNE_DOMINATED
 from repro.core.plans import PhysicalPlan
 from repro.core.stats import OptimizerReport
 from repro.core.status import Move, Status
@@ -56,6 +57,7 @@ class DPOptimizer(Optimizer):
         levels: list[dict[Status, _Entry]] = [
             {start: _Entry(context.start_cost(), None, None)}]
         report.statuses_generated += 1
+        recorder = self.planspace
 
         for _ in context.pattern.edges:
             current = levels[-1]
@@ -65,14 +67,33 @@ class DPOptimizer(Optimizer):
                 for move in possible_moves(status, context):
                     report.plans_considered += 1
                     new_cost = entry.cost + move.cost
+                    if recorder is not None:
+                        recorder.record_candidate(status, move, new_cost,
+                                                  context)
+                        if move.result.is_final():
+                            alt = build_plan(
+                                reconstruct_moves(levels, status) + [move],
+                                context)
+                            recorder.record_final_plan(
+                                alt, alt.estimated_cost,
+                                note=move.describe())
                     existing = next_level.get(move.result)
                     if existing is None:
                         report.statuses_generated += 1
                         next_level[move.result] = _Entry(new_cost, status,
                                                          move)
-                    elif new_cost < existing.cost:
-                        next_level[move.result] = _Entry(new_cost, status,
-                                                         move)
+                    else:
+                        report.memo_hits += 1
+                        if new_cost < existing.cost:
+                            if recorder is not None:
+                                recorder.record_prune(
+                                    move.result, PRUNE_DOMINATED,
+                                    existing.cost)
+                            next_level[move.result] = _Entry(new_cost,
+                                                             status, move)
+                        elif recorder is not None:
+                            recorder.record_prune(move.result,
+                                                  PRUNE_DOMINATED, new_cost)
             levels.append(next_level)
 
         finals = {status: entry for status, entry in levels[-1].items()
@@ -82,4 +103,13 @@ class DPOptimizer(Optimizer):
         best_status = min(finals, key=lambda status: finals[status].cost)
         moves = reconstruct_moves(levels, best_status)
         plan = build_plan(moves, context)
+        if recorder is not None:
+            for level_index, level in enumerate(levels):
+                for status, entry in level.items():
+                    recorder.record_memo_entry(status, entry.cost,
+                                               level_index)
+            for status in finals:
+                alt = build_plan(reconstruct_moves(levels, status), context)
+                recorder.record_final_plan(alt, alt.estimated_cost,
+                                           note=f"final {status}")
         return plan, plan.estimated_cost

@@ -37,8 +37,9 @@ class DPAPEBOptimizer(DPPOptimizer):
     name = "DPAP-EB"
 
     def __init__(self, cost_model=None, expansion_bound: int | None = None,
-                 lookahead: bool = True, trace=None) -> None:
-        super().__init__(cost_model, lookahead=lookahead, trace=trace)
+                 lookahead: bool = True, trace=None, planspace=None) -> None:
+        super().__init__(cost_model, lookahead=lookahead, trace=trace,
+                         planspace=planspace)
         self.expansion_bound = expansion_bound
         self._limit = 0
         self._expansions: dict[int, int] = {}

@@ -27,6 +27,8 @@ from repro.core.enumeration import (EnumerationContext, build_plan,
                                     is_doomed, possible_moves,
                                     upper_bound_completion)
 from repro.core.optimizer import Optimizer, register
+from repro.core.planspace import (PRUNE_COST_BOUND, PRUNE_DOMINATED,
+                                  PRUNE_EXPANSION_BOUND, PRUNE_INFEASIBLE)
 from repro.core.plans import PhysicalPlan
 from repro.core.stats import OptimizerReport
 from repro.core.status import Move, Status
@@ -39,8 +41,8 @@ class DPPOptimizer(Optimizer):
     name = "DPP"
 
     def __init__(self, cost_model=None, lookahead: bool = True,
-                 trace=None) -> None:
-        super().__init__(cost_model)
+                 trace=None, planspace=None) -> None:
+        super().__init__(cost_model, planspace=planspace)
         self.lookahead = lookahead
         #: optional :class:`repro.core.trace.SearchTrace` recorder
         self.trace = trace
@@ -89,6 +91,7 @@ class DPPOptimizer(Optimizer):
         heapq.heappush(heap, (start_bound, next(tie_breaker), start_cost,
                               start))
 
+        recorder = self.planspace
         min_final_cost = float("inf")
         # Tightest known achievable full-plan cost: every live status'
         # Cost + ubCost is the cost of a real completion, so it bounds
@@ -103,6 +106,9 @@ class DPPOptimizer(Optimizer):
                 continue  # stale queue entry; a cheaper path superseded it
             if entry.cost > min(min_final_cost, best_bound):
                 report.statuses_pruned += 1
+                if recorder is not None:
+                    recorder.record_prune(status, PRUNE_COST_BOUND,
+                                          entry.cost)
                 if self.trace is not None:
                     self.trace.record("prune", status, entry.cost,
                                       "cost exceeds best known plan")
@@ -111,6 +117,9 @@ class DPPOptimizer(Optimizer):
                 continue  # finals are never expanded
             level = status.level(pattern)
             if not self._may_expand(status, level, report):
+                if recorder is not None:
+                    recorder.record_prune(status, PRUNE_EXPANSION_BOUND,
+                                          entry.cost)
                 continue
             self._note_expansion(status, level)
             report.statuses_expanded += 1
@@ -120,13 +129,26 @@ class DPPOptimizer(Optimizer):
             for move in self._moves(status, context):
                 report.plans_considered += 1
                 new_cost = entry.cost + move.cost
+                if recorder is not None:
+                    recorder.record_candidate(status, move, new_cost,
+                                              context)
                 new_status = move.result
                 if new_status.is_final():
+                    if recorder is not None:
+                        alt = build_plan(
+                            self._reconstruct(best, status) + [move],
+                            context)
+                        recorder.record_final_plan(alt, alt.estimated_cost,
+                                                   note=move.describe())
                     existing = best.get(new_status)
                     if existing is None or new_cost < existing.cost:
                         if existing is None:
                             report.statuses_generated += 1
+                        else:
+                            report.memo_hits += 1
                         best[new_status] = _Entry(new_cost, status, move)
+                    else:
+                        report.memo_hits += 1
                     if new_cost < min_final_cost:
                         min_final_cost = new_cost
                         best_final = new_status
@@ -136,16 +158,27 @@ class DPPOptimizer(Optimizer):
                     continue
                 if new_cost > min(min_final_cost, best_bound):
                     report.statuses_pruned += 1
+                    if recorder is not None:
+                        recorder.record_prune(new_status, PRUNE_COST_BOUND,
+                                              new_cost)
                     continue
                 if self.lookahead and self._is_deadend(new_status, context):
                     report.deadends_avoided += 1
+                    if recorder is not None:
+                        recorder.record_prune(new_status, PRUNE_INFEASIBLE,
+                                              new_cost)
                     if self.trace is not None:
                         self.trace.record("deadend", new_status,
                                           new_cost, "not generated")
                     continue
                 existing = best.get(new_status)
-                if existing is not None and new_cost >= existing.cost:
-                    continue
+                if existing is not None:
+                    report.memo_hits += 1
+                    if new_cost >= existing.cost:
+                        if recorder is not None:
+                            recorder.record_prune(new_status,
+                                                  PRUNE_DOMINATED, new_cost)
+                        continue
                 if existing is None:
                     report.statuses_generated += 1
                     if self.trace is not None:
@@ -164,6 +197,16 @@ class DPPOptimizer(Optimizer):
             raise OptimizerError("search reached no final status")
         moves = self._reconstruct(best, best_final)
         plan = build_plan(moves, context)
+        if recorder is not None:
+            for memo_status, memo_entry in best.items():
+                recorder.record_memo_entry(memo_status, memo_entry.cost,
+                                           memo_status.level(pattern))
+            for memo_status in best:
+                if memo_status.is_final():
+                    alt = build_plan(self._reconstruct(best, memo_status),
+                                     context)
+                    recorder.record_final_plan(alt, alt.estimated_cost,
+                                               note=f"final {memo_status}")
         # Report the replayed cost of the reconstructed chain: for the
         # exact searches it equals best[best_final].cost; under
         # DPAP-EB's expansion cap a predecessor may have improved after

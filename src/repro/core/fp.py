@@ -25,6 +25,7 @@ from itertools import permutations
 from repro.errors import OptimizerError
 from repro.core.enumeration import EnumerationContext
 from repro.core.optimizer import Optimizer, register
+from repro.core.planspace import PRUNE_DOMINATED
 from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
                               StructuralJoinPlan)
 from repro.core.stats import OptimizerReport
@@ -50,6 +51,7 @@ class FPOptimizer(Optimizer):
                 report: OptimizerReport) -> tuple[PhysicalPlan, float]:
         pattern = context.pattern
         memo: dict[tuple[int, int | None], _SubPlan] = {}
+        recorder = self.planspace
 
         def scan_subplan(node_id: int) -> _SubPlan:
             cost = context.cost_model.index_access(
@@ -67,6 +69,7 @@ class FPOptimizer(Optimizer):
             key = (node_id, exclude)
             cached = memo.get(key)
             if cached is not None:
+                report.memo_hits += 1
                 return cached
             neighbors = [neighbor for neighbor in pattern.neighbors(node_id)
                          if neighbor != exclude]
@@ -98,9 +101,16 @@ class FPOptimizer(Optimizer):
                         total += context.cost_model.stack_tree_desc(
                             sub.cardinality)
                     current_nodes = merged_nodes
+                if recorder is not None:
+                    recorder.record_permutation(node_id, exclude, order,
+                                                total)
                 if total < best_total:
                     best_total = total
                     best_order = order
+                elif recorder is not None:
+                    recorder.record_prune(f"fp({node_id},{exclude}) order "
+                                          + ",".join(map(str, order)),
+                                          PRUNE_DOMINATED, total)
             assert best_order is not None
             result = self._assemble(context, base, neighbors, subplans,
                                     best_order, node_id, best_total)
@@ -114,9 +124,16 @@ class FPOptimizer(Optimizer):
         best: _SubPlan | None = None
         for root in roots:
             candidate = best_ordered(root, None)
+            if recorder is not None:
+                recorder.record_final_plan(candidate.plan, candidate.cost,
+                                           note=f"ordered by {root}")
             if best is None or candidate.cost < best.cost:
                 best = candidate
         assert best is not None
+        if recorder is not None:
+            for key, sub in memo.items():
+                recorder.record_memo_entry(f"fp{key}", sub.cost,
+                                           len(sub.nodes) - 1)
         return best.plan, best.cost
 
     @staticmethod

@@ -40,14 +40,21 @@ class Optimizer:
     #: Registry name; subclasses override (e.g. ``"DPP"``).
     name = "base"
 
-    def __init__(self, cost_model: CostModel | None = None) -> None:
+    def __init__(self, cost_model: CostModel | None = None,
+                 planspace=None) -> None:
         self.cost_model = cost_model or CostModel()
+        #: optional :class:`repro.core.planspace.PlanSpaceRecorder`;
+        #: None (the default) keeps the search paths recording-free.
+        self.planspace = planspace
 
     def optimize(self, pattern: QueryPattern,
                  estimator: CardinalityEstimator) -> OptimizationResult:
         """Select a plan for *pattern* using *estimator*'s statistics."""
         report = OptimizerReport(self.name)
         context = EnumerationContext(pattern, self.cost_model, estimator)
+        recorder = self.planspace
+        if recorder is not None:
+            recorder.begin(self.name, pattern, context)
         started = time.perf_counter()
         if len(pattern) == 1:
             node_id = pattern.root
@@ -57,10 +64,14 @@ class Optimizer:
                 estimated_cost=context.start_cost())
             cost = plan.estimated_cost
             report.plans_considered = 1
+            if recorder is not None:
+                recorder.record_final_plan(plan, cost, "single-node scan")
         else:
             plan, cost = self._search(context, report)
         report.optimization_seconds = time.perf_counter() - started
         validate_plan(plan, pattern)
+        if recorder is not None:
+            recorder.finish(plan, cost, report)
         return OptimizationResult(pattern=pattern, plan=plan,
                                   estimated_cost=cost, report=report)
 

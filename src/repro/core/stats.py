@@ -23,6 +23,9 @@ class OptimizerReport:
     statuses_expanded: int = 0
     deadends_avoided: int = 0
     statuses_pruned: int = 0
+    #: times the search re-reached an already-tabled sub-result (a
+    #: status seen via another path, or an FP (node, exclude) sub-plan)
+    memo_hits: int = 0
     optimization_seconds: float = 0.0
 
     @property

@@ -361,6 +361,47 @@ def count_containment_pairs(ancestors: list[Region],
     return count
 
 
+class ScaledEstimator(CardinalityEstimator):
+    """What-if wrapper: hypothetically scaled per-tag cardinalities.
+
+    Multiplies a base estimator's per-node candidate counts and
+    cardinalities by a per-tag factor (``{"item": 10.0}`` models "ten
+    times as many items"); edge results scale by both endpoints'
+    factors, which leaves per-edge *selectivities* unchanged — the
+    hypothesis grows the data, not the structural correlation.  The
+    base estimator is never modified, so a what-if analysis can price
+    plans against hypothetical statistics without touching the
+    database's statistics epoch (:func:`repro.obs.planspace.run_whatif`).
+    """
+
+    def __init__(self, base: CardinalityEstimator,
+                 tag_scale: Mapping[str, float]) -> None:
+        self._base = base
+        self._scale = {tag: float(factor)
+                       for tag, factor in tag_scale.items()}
+        for tag, factor in self._scale.items():
+            if factor < 0:
+                raise EstimationError(
+                    f"tag scale for {tag!r} must be >= 0, got {factor}")
+
+    def _factor(self, node: PatternNode) -> float:
+        if node.tag == WILDCARD:
+            return self._scale.get(WILDCARD, 1.0)
+        return self._scale.get(node.tag, 1.0)
+
+    def node_candidates(self, node: PatternNode) -> float:
+        return self._base.node_candidates(node) * self._factor(node)
+
+    def node_cardinality(self, node: PatternNode) -> float:
+        return self._base.node_cardinality(node) * self._factor(node)
+
+    def edge_cardinality(self, pattern: QueryPattern, parent: int,
+                         child: int) -> float:
+        return (self._base.edge_cardinality(pattern, parent, child)
+                * self._factor(pattern.node(parent))
+                * self._factor(pattern.node(child)))
+
+
 class PatternCardinalities:
     """Per-query cache of node and cluster cardinalities.
 

@@ -90,6 +90,10 @@ class QueryAudit:
     #: traced): the join key from a flagged flip to the retained trace
     #: (``/traces``) that shows how the logged plan actually ran.
     trace_id: str = ""
+    #: flip forensics (``audit --why`` only): structural digest diff,
+    #: the logged plan re-priced under current statistics, and the
+    #: per-family cost crossover explaining why the choice moved.
+    why: dict[str, object] | None = None
 
     @property
     def flipped(self) -> bool:
@@ -98,7 +102,7 @@ class QueryAudit:
         return self.logged_plan != self.current_plan
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "query": self.query,
             "algorithm": self.algorithm,
             "signature": self.signature,
@@ -111,6 +115,9 @@ class QueryAudit:
             "flipped": self.flipped,
             "trace_id": self.trace_id,
         }
+        if self.why is not None:
+            payload["why"] = dict(self.why)
+        return payload
 
 
 @dataclass
@@ -165,6 +172,8 @@ class AuditReport:
                          f"(est {entry.current_estimated_cost:.1f})")
             if entry.trace_id:
                 lines.append(f"    trace:   {entry.trace_id}")
+            if entry.why is not None:
+                lines.extend(_render_why(entry.why))
         if self.qerror_by_operator:
             lines.append("cardinality q-error by operator type "
                          "(count / p50 / p95 / max):")
@@ -203,11 +212,77 @@ class AuditReport:
             p95.set(stats["p95"], operator=kind)
 
 
+def _render_why(why: dict[str, object]) -> list[str]:
+    """FLIP sublines for one entry's forensics payload."""
+    lines: list[str] = []
+    diff = why.get("diff")
+    if isinstance(diff, dict):
+        removed = ", ".join(str(op) for op in diff.get("removed", []))
+        added = ", ".join(str(op) for op in diff.get("added", []))
+        lines.append(f"    diff:    -[{removed or '-'}] +[{added or '-'}]"
+                     f" ({diff.get('unchanged', 0)} unchanged)")
+    if "logged_cost_now" in why:
+        lines.append(
+            f"    why:     logged plan re-priced under current "
+            f"statistics: {why['logged_cost_now']:.1f} vs chosen "
+            f"{why['current_cost']:.1f} (regret {why['regret']:+.1f})")
+    crossover = why.get("crossover")
+    if isinstance(crossover, dict):
+        parts = ", ".join(f"{name} {delta:+.1f}"
+                          for name, delta in crossover.items()
+                          if abs(float(delta)) > 1e-9)
+        lines.append(f"    crossover: {parts or 'no per-family delta'}")
+    note = why.get("note")
+    if note:
+        lines.append(f"    note:    {note}")
+    return lines
+
+
+def _flip_forensics(database: "Database", pattern,
+                    current_plan, current_cost: float,
+                    logged_digest: str,
+                    current_digest: str) -> dict[str, object]:
+    """Explain one plan flip: structural diff plus cost crossover.
+
+    The logged digest is rebuilt into a physical plan and re-priced
+    under the **current** statistics and cost factors; the gap to the
+    currently chosen plan's cost is the regret the flip avoided, and
+    the per-family breakdown deltas say which Sec. 2.2.2 counter
+    family moved the decision.
+    """
+    from repro.core.cost import CostModel
+    from repro.core.enumeration import (EnumerationContext,
+                                        estimate_plan_cost)
+    from repro.core.planspace import FAMILIES, plan_cost_breakdown
+    from repro.obs.planspace import plan_digest_diff, plan_from_digest
+
+    why: dict[str, object] = {
+        "diff": plan_digest_diff(logged_digest, current_digest),
+        "current_cost": current_cost,
+    }
+    try:
+        logged_plan = plan_from_digest(logged_digest, pattern)
+    except ReproError as exc:
+        why["note"] = f"logged plan could not be reconstructed: {exc}"
+        return why
+    factors = database.cost_factors
+    context = EnumerationContext(pattern, CostModel(factors),
+                                 database.estimator)
+    logged_cost_now = estimate_plan_cost(logged_plan, context)
+    why["logged_cost_now"] = logged_cost_now
+    why["regret"] = logged_cost_now - current_cost
+    logged_break = plan_cost_breakdown(logged_plan, factors)
+    current_break = plan_cost_breakdown(current_plan, factors)
+    why["crossover"] = {name: logged_break[name] - current_break[name]
+                        for name in FAMILIES}
+    return why
+
+
 def audit_records(database: "Database",
                   records: Iterable[dict[str, object]],
                   algorithm: str | None = None,
-                  registry: "MetricsRegistry | None" = None
-                  ) -> AuditReport:
+                  registry: "MetricsRegistry | None" = None,
+                  why: bool = False) -> AuditReport:
     """Replay *records* through *database*'s optimizer and diff plans.
 
     Each distinct (query, algorithm) pair is replayed once, against
@@ -216,6 +291,11 @@ def audit_records(database: "Database",
     overrides the logged algorithm for every replay; records logged
     without one replay under the default DPP.  Queries that no longer
     compile or optimize are counted as skipped, not fatal.
+
+    With ``why=True`` every flipped entry carries forensics: the
+    structural digest diff, the logged plan re-priced under current
+    statistics (via :func:`~repro.obs.planspace.plan_from_digest`),
+    and the per-family cost crossover.
     """
     report = AuditReport()
     latest: dict[tuple[str, str], dict[str, object]] = {}
@@ -252,7 +332,7 @@ def audit_records(database: "Database",
         except ReproError:
             report.skipped += 1
             continue
-        report.entries.append(QueryAudit(
+        entry = QueryAudit(
             query=query,
             algorithm=replay_algorithm,
             signature=str(record.get("signature", "")),
@@ -263,7 +343,17 @@ def audit_records(database: "Database",
             logged_estimated_cost=float(
                 record.get("estimated_cost") or 0.0),
             current_estimated_cost=result.estimated_cost,
-            trace_id=str(record.get("trace_id", ""))))
+            trace_id=str(record.get("trace_id", "")))
+        if why and entry.flipped:
+            if entry.logged_digest:
+                entry.why = _flip_forensics(
+                    database, pattern, result.plan,
+                    result.estimated_cost, entry.logged_digest,
+                    entry.current_digest)
+            else:
+                entry.why = {"note": "record carries no plan digest "
+                                     "to diff against"}
+        report.entries.append(entry)
     report.entries.sort(key=lambda entry: (entry.algorithm, entry.query))
     report.qerror_by_operator = {
         kind: qerror_summary(values)

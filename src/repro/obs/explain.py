@@ -32,6 +32,7 @@ from repro.obs.spans import Span
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.optimizer import OptimizationResult
     from repro.engine.executor import ExecutionResult
+    from repro.obs.planspace import PlanSpaceReport
 
 __all__ = ["ExplainReport", "OperatorAnalysis", "build_analysis",
            "q_error"]
@@ -172,10 +173,20 @@ class ExplainReport:
     #: per-shard provenance (which shard contributed which share of
     #: each pattern tag's histogram mass)
     shards: "dict[str, object] | None" = None
+    #: present when explain ran with ``plan_space=True``: the search
+    #: space behind the chosen plan (see :mod:`repro.obs.planspace`)
+    plan_space: "PlanSpaceReport | None" = None
 
     @property
     def optimize_seconds(self) -> float:
         return self.optimization.report.optimization_seconds
+
+    @property
+    def trace_id(self) -> str:
+        """Join key to ``/traces`` (empty when the run was not traced)."""
+        if self.span is None:
+            return ""
+        return self.span.trace_id or ""
 
     @property
     def execute_seconds(self) -> float:
@@ -212,6 +223,9 @@ class ExplainReport:
                 lines.append(f"statistics[{tag}]: {shares}")
         if not self.analyze:
             lines.append(self.optimization.explain())
+            if self.plan_space is not None:
+                lines.append("")
+                lines.append(self.plan_space.render())
             return "\n".join(lines)
         assert self.root is not None and self.execution is not None
         lines.append(
@@ -230,6 +244,11 @@ class ExplainReport:
             f"{metrics.simulated_cost():.1f} "
             f"(q={q_error(self.optimization.estimated_cost, metrics.simulated_cost()):.2f}), "
             f"max operator rows q-error {self.max_rows_q_error():.2f}")
+        if self.trace_id:
+            lines.append(f"trace: {self.trace_id}")
+        if self.plan_space is not None:
+            lines.append("")
+            lines.append(self.plan_space.render())
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, object]:
@@ -242,9 +261,12 @@ class ExplainReport:
             "estimated_cost": self.optimization.estimated_cost,
             "parse_seconds": self.parse_seconds,
             "optimize_seconds": self.optimize_seconds,
+            "trace_id": self.trace_id,
         }
         if self.shards is not None:
             payload["shards"] = self.shards
+        if self.plan_space is not None:
+            payload["plan_space"] = self.plan_space.to_dict()
         if self.analyze and self.execution is not None:
             metrics = self.execution.metrics
             payload.update({

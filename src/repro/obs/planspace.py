@@ -1,0 +1,653 @@
+"""Plan-space rendering, plan forensics, and what-if analysis.
+
+Three related capabilities over the optimizer's search space:
+
+* :func:`build_plan_space_report` turns a filled
+  :class:`~repro.core.planspace.PlanSpaceRecorder` into a
+  :class:`PlanSpaceReport` — top-k alternative plans with
+  renumbering-invariant digests and cost deltas, pruning-effectiveness
+  stats, memo size, and a "why the winner won" attribution.
+* Digest forensics: :func:`plan_digest_diff` diffs two canonical plan
+  digests operator by operator, and :func:`plan_from_digest` rebuilds
+  a physical plan from a logged digest, so logged plans can be
+  re-priced under current statistics (the crossover evidence behind
+  ``audit --why``).
+* :func:`run_whatif` re-optimizes a query under hypothetical cost
+  factors, scaled statistics, or a forced plan — without mutating the
+  database — and explains any plan flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import PlanError, ReproError
+from repro.core.cost import CostFactors, CostModel
+from repro.core.enumeration import EnumerationContext, estimate_plan_cost
+from repro.core.planspace import (FAMILIES, PlanSpaceRecorder,
+                                  plan_cost_breakdown)
+from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
+                              SortPlan, StructuralJoinPlan, validate_plan)
+from repro.core.pattern import QueryPattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Database
+
+__all__ = ["PlanAlternative", "PlanSpaceReport", "WhatIfResult",
+           "build_plan_space_report", "plan_digest_diff",
+           "plan_from_digest", "run_whatif"]
+
+
+# -- digest parsing ---------------------------------------------------------
+
+@dataclass
+class _DigestNode:
+    """One operator parsed out of a canonical plan digest."""
+
+    kind: str  # "scan" | "sort" | "join"
+    rank: int = 0           # scan rank, or sort by-rank
+    anc_rank: int = 0
+    desc_rank: int = 0
+    axis: str = ""
+    algorithm: str = ""
+    children: tuple["_DigestNode", ...] = ()
+
+
+def parse_plan_digest(digest: str) -> _DigestNode:
+    """Parse the :func:`canonical_plan_digest` grammar back to a tree.
+
+    Grammar: ``scan(R)``, ``sort[R](plan)``,
+    ``ALGO[R axis R](plan,plan)`` with axis ``/`` or ``//``.
+    """
+    pos = 0
+
+    def fail(expected: str) -> PlanError:
+        return PlanError(f"bad plan digest at offset {pos}: expected "
+                         f"{expected} in {digest!r}")
+
+    def expect(token: str) -> None:
+        nonlocal pos
+        if not digest.startswith(token, pos):
+            raise fail(token)
+        pos += len(token)
+
+    def read_int() -> int:
+        nonlocal pos
+        start = pos
+        while pos < len(digest) and digest[pos].isdigit():
+            pos += 1
+        if pos == start:
+            raise fail("an integer rank")
+        return int(digest[start:pos])
+
+    def read_axis() -> str:
+        nonlocal pos
+        start = pos
+        while pos < len(digest) and digest[pos] == "/":
+            pos += 1
+        if pos - start not in (1, 2):
+            raise fail("axis / or //")
+        return digest[start:pos]
+
+    def parse() -> _DigestNode:
+        nonlocal pos
+        start = pos
+        while pos < len(digest) and digest[pos] not in "([":
+            pos += 1
+        name = digest[start:pos]
+        if name == "scan":
+            expect("(")
+            rank = read_int()
+            expect(")")
+            return _DigestNode("scan", rank=rank)
+        if name == "sort":
+            expect("[")
+            rank = read_int()
+            expect("]")
+            expect("(")
+            child = parse()
+            expect(")")
+            return _DigestNode("sort", rank=rank, children=(child,))
+        expect("[")
+        anc_rank = read_int()
+        axis = read_axis()
+        desc_rank = read_int()
+        expect("]")
+        expect("(")
+        ancestor = parse()
+        expect(",")
+        descendant = parse()
+        expect(")")
+        return _DigestNode("join", anc_rank=anc_rank, desc_rank=desc_rank,
+                           axis=axis, algorithm=name,
+                           children=(ancestor, descendant))
+
+    tree = parse()
+    if pos != len(digest):
+        raise fail("end of digest")
+    return tree
+
+
+def _digest_operators(node: _DigestNode) -> list[str]:
+    ops: list[str] = []
+    if node.kind == "scan":
+        ops.append(f"scan({node.rank})")
+    elif node.kind == "sort":
+        ops.append(f"sort[{node.rank}]")
+    else:
+        ops.append(f"{node.algorithm}[{node.anc_rank}{node.axis}"
+                   f"{node.desc_rank}]")
+    for child in node.children:
+        ops.extend(_digest_operators(child))
+    return ops
+
+
+def plan_digest_diff(old_digest: str,
+                     new_digest: str) -> dict[str, object]:
+    """Operator-multiset diff between two canonical plan digests.
+
+    Returns ``{"removed": [...], "added": [...], "unchanged": N}`` —
+    the operators only the old plan has, only the new plan has, and
+    the count both share.  An empty removed+added means the plans are
+    structurally identical (possibly different operator order in the
+    digest tree, which the multiset view deliberately ignores).
+    """
+    from collections import Counter
+
+    old_ops = Counter(_digest_operators(parse_plan_digest(old_digest)))
+    new_ops = Counter(_digest_operators(parse_plan_digest(new_digest)))
+    return {
+        "removed": sorted((old_ops - new_ops).elements()),
+        "added": sorted((new_ops - old_ops).elements()),
+        "unchanged": sum((old_ops & new_ops).values()),
+    }
+
+
+# -- digest -> plan reconstruction ------------------------------------------
+
+def _rank_labels(pattern: QueryPattern) -> dict[int, int]:
+    """node id -> canonical rank, exactly as the digest assigns them."""
+    from repro.service.cache import _node_signatures
+
+    signatures = _node_signatures(pattern)
+    ranks = {key: rank for rank, key in enumerate(
+        sorted({repr(sig) for sig in signatures.values()}))}
+    return {node_id: ranks[repr(signatures[node_id])]
+            for node_id in signatures}
+
+
+class _Unsatisfiable(Exception):
+    """Internal: this scan assignment cannot produce a valid plan."""
+
+
+def plan_from_digest(digest: str, pattern: QueryPattern,
+                     max_attempts: int = 5000) -> PhysicalPlan:
+    """Rebuild a physical plan for *pattern* from a canonical digest.
+
+    Canonical ranks are mapped back to pattern-node ids; when several
+    nodes share a rank (interchangeable subtrees) the assignment is
+    searched with backtracking until the joins line up with pattern
+    edges — any signature-respecting assignment yields a semantically
+    equivalent plan, which is the same freedom ``remap_plan`` has.
+    The returned plan carries zeroed cost annotations; price it with
+    :func:`~repro.core.enumeration.estimate_plan_cost`.
+    """
+    tree = parse_plan_digest(digest)
+    labels = _rank_labels(pattern)
+    pools: dict[int, list[int]] = {}
+    for node_id, rank in sorted(labels.items()):
+        pools.setdefault(rank, []).append(node_id)
+
+    scan_slots: list[_DigestNode] = [
+        node for node in _walk_digest(tree) if node.kind == "scan"]
+    if len(scan_slots) != len(pattern):
+        raise PlanError(
+            f"digest binds {len(scan_slots)} scans, pattern has "
+            f"{len(pattern)} nodes")
+
+    assignment: dict[int, int] = {}  # index in scan_slots -> node id
+    used: set[int] = set()
+    attempts = 0
+
+    def construct(node: _DigestNode, slot_iter: "list[int]") -> PhysicalPlan:
+        """Build the plan bottom-up from the current full assignment."""
+        if node.kind == "scan":
+            return IndexScanPlan(assignment[slot_iter.pop(0)])
+        if node.kind == "sort":
+            child = construct(node.children[0], slot_iter)
+            matches = [n for n in child.pattern_nodes()
+                       if labels[n] == node.rank]
+            if not matches:
+                raise _Unsatisfiable
+            return SortPlan(child, min(matches))
+        ancestor = construct(node.children[0], slot_iter)
+        descendant = construct(node.children[1], slot_iter)
+        for anc_id in sorted(n for n in ancestor.pattern_nodes()
+                             if labels[n] == node.anc_rank):
+            for desc_id in sorted(n for n in descendant.pattern_nodes()
+                                  if labels[n] == node.desc_rank):
+                edge = pattern.edge_between(anc_id, desc_id)
+                if (edge is not None
+                        and (edge.parent, edge.child) == (anc_id, desc_id)
+                        and str(edge.axis) == node.axis):
+                    return StructuralJoinPlan(
+                        ancestor, descendant, anc_id, desc_id,
+                        edge.axis, JoinAlgorithm(node.algorithm))
+        raise _Unsatisfiable
+
+    def assign(index: int) -> PhysicalPlan | None:
+        nonlocal attempts
+        if index == len(scan_slots):
+            attempts += 1
+            try:
+                plan = construct(tree, list(range(len(scan_slots))))
+                validate_plan(plan, pattern)
+                return plan
+            except (_Unsatisfiable, PlanError):
+                return None
+        if attempts >= max_attempts:
+            return None
+        for node_id in pools.get(scan_slots[index].rank, ()):
+            if node_id in used:
+                continue
+            assignment[index] = node_id
+            used.add(node_id)
+            plan = assign(index + 1)
+            used.discard(node_id)
+            if plan is not None:
+                return plan
+        return None
+
+    plan = assign(0)
+    if plan is None:
+        raise PlanError(
+            f"could not reconstruct a valid plan for the pattern from "
+            f"digest {digest!r}")
+    return plan
+
+
+def _walk_digest(node: _DigestNode):
+    """Pre-order walk matching ``construct``'s slot consumption order."""
+    yield node
+    for child in node.children:
+        yield from _walk_digest(child)
+
+
+# -- plan-space report ------------------------------------------------------
+
+@dataclass
+class PlanAlternative:
+    """One complete plan the search reached, ranked against the winner."""
+
+    digest: str
+    cost: float
+    delta: float
+    note: str
+    breakdown: dict[str, float]
+    sorts: int
+    pipelined: bool
+
+    def to_dict(self) -> dict[str, object]:
+        return {"digest": self.digest, "cost": self.cost,
+                "delta": self.delta, "note": self.note,
+                "breakdown": dict(self.breakdown), "sorts": self.sorts,
+                "pipelined": self.pipelined}
+
+
+@dataclass
+class PlanSpaceReport:
+    """Rendered view of one optimize() call's search space."""
+
+    query: str
+    algorithm: str
+    winner_digest: str
+    winner_cost: float
+    winner_breakdown: dict[str, float]
+    winner_sorts: int
+    winner_pipelined: bool
+    alternatives: list[PlanAlternative]
+    finals_reached: int
+    pruning: dict[str, int]
+    pruned_total: int
+    candidates_enumerated: int
+    candidates_dropped: int
+    memo_size: int
+    memo_entries: list[dict[str, object]]
+    plans_considered: int
+    statuses_generated: int
+    memo_hits: int
+    optimization_seconds: float
+    why: str
+    trace_id: str = ""
+    candidates: list[dict[str, object]] = field(default_factory=list)
+
+    @property
+    def pruning_effectiveness(self) -> float:
+        """Fraction of enumerated candidates the search discarded."""
+        if not self.candidates_enumerated:
+            return 0.0
+        return min(1.0, self.pruned_total / self.candidates_enumerated)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "query": self.query,
+            "algorithm": self.algorithm,
+            "winner": {
+                "digest": self.winner_digest,
+                "cost": self.winner_cost,
+                "breakdown": dict(self.winner_breakdown),
+                "sorts": self.winner_sorts,
+                "pipelined": self.winner_pipelined,
+            },
+            "alternatives": [alt.to_dict() for alt in self.alternatives],
+            "finals_reached": self.finals_reached,
+            "pruning": dict(self.pruning),
+            "pruned_total": self.pruned_total,
+            "pruning_effectiveness": self.pruning_effectiveness,
+            "candidates_enumerated": self.candidates_enumerated,
+            "candidates_dropped": self.candidates_dropped,
+            "memo_size": self.memo_size,
+            "memo_entries": list(self.memo_entries),
+            "plans_considered": self.plans_considered,
+            "statuses_generated": self.statuses_generated,
+            "memo_hits": self.memo_hits,
+            "optimization_seconds": self.optimization_seconds,
+            "why": self.why,
+            "trace_id": self.trace_id,
+        }
+
+    def render(self) -> str:
+        breakdown = " ".join(f"{name}={value:.1f}" for name, value
+                             in self.winner_breakdown.items())
+        lines = [
+            f"plan space for {self.query!r} via {self.algorithm} "
+            f"({self.optimization_seconds * 1000:.2f}ms)",
+            f"winner: {self.winner_digest}",
+            f"  cost={self.winner_cost:.1f} [{breakdown}] "
+            f"sorts={self.winner_sorts} "
+            f"pipelined={'yes' if self.winner_pipelined else 'no'}",
+        ]
+        if self.alternatives:
+            lines.append(f"alternatives (top {len(self.alternatives)} of "
+                         f"{self.finals_reached} full plans reached):")
+            for alt in self.alternatives:
+                note = f" ({alt.note})" if alt.note else ""
+                lines.append(f"  [+{alt.delta:.1f}] {alt.digest}{note}")
+        else:
+            lines.append("alternatives: none (search reached a single "
+                         "full plan)")
+        pruned = " ".join(f"{reason}={count}" for reason, count
+                          in sorted(self.pruning.items()))
+        lines.append(
+            f"pruning: {pruned or 'none'} — {self.pruned_total} of "
+            f"{self.candidates_enumerated} candidates pruned "
+            f"({self.pruning_effectiveness:.1%})")
+        lines.append(
+            f"memo: {self.memo_size} entries, {self.memo_hits} hits; "
+            f"{self.statuses_generated} statuses generated, "
+            f"{self.plans_considered} plans considered")
+        if self.candidates_dropped:
+            lines.append(f"note: {self.candidates_dropped} candidate "
+                         "records dropped (recorder cap); counts above "
+                         "still include them")
+        lines.append(f"why: {self.why}")
+        return "\n".join(lines)
+
+
+def _family_delta_text(winner: Mapping[str, float],
+                       other: Mapping[str, float]) -> tuple[str, str]:
+    """(driving family, 'f_io +120.0, f_sort -8.0' text) vs winner."""
+    deltas = {name: other.get(name, 0.0) - winner.get(name, 0.0)
+              for name in FAMILIES}
+    driver = max(deltas, key=lambda name: deltas[name])
+    parts = [f"{name} {delta:+.1f}" for name, delta in deltas.items()
+             if abs(delta) > 1e-9]
+    return driver, ", ".join(parts) or "no per-family difference"
+
+
+def build_plan_space_report(recorder: PlanSpaceRecorder,
+                            query: str = "", top_k: int = 3,
+                            include_candidates: bool = False,
+                            trace_id: str = "") -> PlanSpaceReport:
+    """Render a filled recorder into a :class:`PlanSpaceReport`.
+
+    *top_k* bounds the alternative plans listed (cheapest first,
+    winner excluded).  ``include_candidates=True`` copies the raw
+    candidate records into the report (JSON artifacts); the default
+    keeps reports small enough for an endpoint ring.
+    """
+    from repro.service.cache import canonical_plan_digest
+
+    if recorder.winner is None or recorder.pattern is None:
+        raise ReproError("recorder has not observed an optimize() call")
+    pattern = recorder.pattern
+    assert recorder.context is not None
+    factors = recorder.context.cost_model.factors
+    winner_digest = canonical_plan_digest(recorder.winner, pattern)
+
+    by_digest: dict[str, PlanAlternative] = {}
+    for plan, cost, note in recorder.finals:
+        digest = canonical_plan_digest(plan, pattern)
+        known = by_digest.get(digest)
+        if known is not None and known.cost <= cost:
+            continue
+        by_digest[digest] = PlanAlternative(
+            digest=digest, cost=cost, delta=cost - recorder.winner_cost,
+            note=note, breakdown=plan_cost_breakdown(plan, factors),
+            sorts=plan.sort_count(),
+            pipelined=plan.is_fully_pipelined)
+    alternatives = sorted(
+        (alt for digest, alt in by_digest.items()
+         if digest != winner_digest),
+        key=lambda alt: alt.cost)[:max(0, top_k)]
+
+    winner_breakdown = plan_cost_breakdown(recorder.winner, factors)
+    if alternatives:
+        runner = alternatives[0]
+        driver, delta_text = _family_delta_text(winner_breakdown,
+                                                runner.breakdown)
+        why = (f"winner beats the runner-up by {runner.delta:.1f} cost "
+               f"units, mostly on {driver}: {delta_text}")
+        if recorder.winner.is_fully_pipelined and not runner.pipelined:
+            why += "; the winner is fully pipelined, the runner-up blocks"
+    elif len(by_digest) <= 1:
+        why = ("the search reached a single full plan; every other "
+               "candidate was pruned or infeasible")
+    else:
+        why = "all alternative full plans collapse to the winner's digest"
+
+    report = recorder.report
+    return PlanSpaceReport(
+        query=query,
+        algorithm=recorder.algorithm or "",
+        winner_digest=winner_digest,
+        winner_cost=recorder.winner_cost,
+        winner_breakdown=winner_breakdown,
+        winner_sorts=recorder.winner.sort_count(),
+        winner_pipelined=recorder.winner.is_fully_pipelined,
+        alternatives=alternatives,
+        finals_reached=len(by_digest),
+        pruning=dict(recorder.prunings),
+        pruned_total=recorder.pruned_total,
+        candidates_enumerated=recorder.candidates_enumerated,
+        candidates_dropped=recorder.candidates_dropped,
+        memo_size=recorder.memo_size,
+        memo_entries=list(recorder.memo_entries),
+        plans_considered=report.plans_considered if report else 0,
+        statuses_generated=report.statuses_generated if report else 0,
+        memo_hits=report.memo_hits if report else 0,
+        optimization_seconds=(report.optimization_seconds
+                              if report else 0.0),
+        why=why,
+        trace_id=trace_id,
+        candidates=(list(recorder.candidates)
+                    if include_candidates else []))
+
+
+# -- what-if analysis -------------------------------------------------------
+
+@dataclass
+class WhatIfResult:
+    """Baseline vs. hypothetical optimization of one query."""
+
+    query: str
+    algorithm: str
+    baseline_digest: str
+    baseline_cost: float
+    hypothetical_digest: str
+    hypothetical_cost: float
+    #: the baseline winner re-priced under the hypothetical conditions
+    #: — together with ``hypothetical_cost`` this is the crossover:
+    #: how much the old choice would now lose by.
+    baseline_cost_under_hypothesis: float
+    flipped: bool
+    crossover: dict[str, float]
+    diff: dict[str, object]
+    factors: dict[str, float]
+    tag_scale: dict[str, float]
+    explanation: str
+    forced_digest: str = ""
+    forced_cost_under_hypothesis: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        payload = {
+            "query": self.query,
+            "algorithm": self.algorithm,
+            "baseline": {"digest": self.baseline_digest,
+                         "cost": self.baseline_cost,
+                         "cost_under_hypothesis":
+                             self.baseline_cost_under_hypothesis},
+            "hypothetical": {"digest": self.hypothetical_digest,
+                             "cost": self.hypothetical_cost},
+            "flipped": self.flipped,
+            "crossover": dict(self.crossover),
+            "diff": dict(self.diff),
+            "factors": dict(self.factors),
+            "tag_scale": dict(self.tag_scale),
+            "explanation": self.explanation,
+        }
+        if self.forced_digest:
+            payload["forced"] = {
+                "digest": self.forced_digest,
+                "cost_under_hypothesis":
+                    self.forced_cost_under_hypothesis}
+        return payload
+
+    def render(self) -> str:
+        lines = [
+            f"what-if [{self.algorithm}] {self.query}",
+            f"  baseline:     {self.baseline_digest} "
+            f"(est {self.baseline_cost:.1f})",
+            f"  hypothetical: {self.hypothetical_digest} "
+            f"(est {self.hypothetical_cost:.1f})",
+        ]
+        if self.flipped:
+            lines.append(
+                f"  FLIP: baseline plan would now cost "
+                f"{self.baseline_cost_under_hypothesis:.1f}, the new "
+                f"winner {self.hypothetical_cost:.1f} "
+                f"(margin {self.baseline_cost_under_hypothesis - self.hypothetical_cost:+.1f})")
+            if self.diff.get("removed") or self.diff.get("added"):
+                lines.append(f"    -{' '.join(map(str, self.diff.get('removed', [])))}")
+                lines.append(f"    +{' '.join(map(str, self.diff.get('added', [])))}")
+        else:
+            lines.append("  no flip: the baseline plan stays optimal "
+                         "under the hypothesis")
+        if self.forced_digest:
+            lines.append(f"  forced:       {self.forced_digest} "
+                         f"(est {self.forced_cost_under_hypothesis:.1f} "
+                         f"under hypothesis)")
+        lines.append(f"  why: {self.explanation}")
+        return "\n".join(lines)
+
+
+def run_whatif(database: "Database", query: str,
+               algorithm: str = "DPP",
+               factors: CostFactors | None = None,
+               tag_scale: Mapping[str, float] | None = None,
+               exact: bool = False,
+               force_plan: str | None = None) -> WhatIfResult:
+    """Re-optimize *query* under hypothetical conditions.
+
+    The hypothesis is any combination of replacement cost *factors*,
+    per-tag cardinality scaling (*tag_scale*, e.g. ``{"item": 10.0}``
+    for "what if there were 10x as many items"), ground-truth
+    statistics (*exact*), and a *force_plan* canonical digest to price
+    as-if chosen.  Nothing on the database is mutated: the hypothesis
+    lives in a private cost model and estimator wrapper, so the plan
+    cache, statistics epoch, and live cost factors are untouched.
+    """
+    from repro.core.optimizer import get_optimizer
+    from repro.estimation.estimator import ScaledEstimator
+    from repro.service.cache import canonical_plan_digest, remap_plan
+
+    pattern = database.compile(query)
+    baseline = database.optimize(pattern, algorithm=algorithm)
+    baseline_digest = canonical_plan_digest(baseline.plan, pattern)
+
+    hyp_factors = factors if factors is not None else database.cost_factors
+    hyp_model = CostModel(hyp_factors)
+    estimator = database.exact_estimator if exact else database.estimator
+    scales = dict(tag_scale or {})
+    if scales:
+        estimator = ScaledEstimator(estimator, scales)
+    optimizer = get_optimizer(algorithm, cost_model=hyp_model)
+    hypothetical = optimizer.optimize(pattern, estimator)
+    hypothetical_digest = canonical_plan_digest(hypothetical.plan, pattern)
+
+    hyp_context = EnumerationContext(pattern, hyp_model, estimator)
+    # identity remap = deep copy, so re-pricing never touches the
+    # annotations on the baseline result we report
+    replica = remap_plan(baseline.plan,
+                         {node_id: node_id for node_id in range(len(pattern))})
+    baseline_under_hyp = estimate_plan_cost(replica, hyp_context)
+    crossover = {
+        name: (plan_cost_breakdown(replica, hyp_factors)[name]
+               - plan_cost_breakdown(hypothetical.plan, hyp_factors)[name])
+        for name in FAMILIES}
+
+    flipped = hypothetical_digest != baseline_digest
+    diff = (plan_digest_diff(baseline_digest, hypothetical_digest)
+            if flipped else {"removed": [], "added": [],
+                             "unchanged": len(
+                                 _digest_operators(
+                                     parse_plan_digest(baseline_digest)))})
+
+    forced_digest = ""
+    forced_cost = 0.0
+    if force_plan:
+        forced = plan_from_digest(force_plan, pattern)
+        forced_cost = estimate_plan_cost(forced, hyp_context)
+        forced_digest = canonical_plan_digest(forced, pattern)
+
+    if flipped:
+        driver, delta_text = _family_delta_text(
+            plan_cost_breakdown(hypothetical.plan, hyp_factors),
+            plan_cost_breakdown(replica, hyp_factors))
+        explanation = (
+            f"under the hypothesis the baseline plan is beaten by "
+            f"{baseline_under_hyp - hypothetical.estimated_cost:.1f} "
+            f"cost units, mostly on {driver}: {delta_text}")
+    else:
+        explanation = (
+            f"the baseline plan remains the winner; its cost moves "
+            f"{baseline.estimated_cost:.1f} -> "
+            f"{baseline_under_hyp:.1f} under the hypothesis")
+
+    return WhatIfResult(
+        query=query if isinstance(query, str) else str(query),
+        algorithm=algorithm,
+        baseline_digest=baseline_digest,
+        baseline_cost=baseline.estimated_cost,
+        hypothetical_digest=hypothetical_digest,
+        hypothetical_cost=hypothetical.estimated_cost,
+        baseline_cost_under_hypothesis=baseline_under_hyp,
+        flipped=flipped,
+        crossover=crossover,
+        diff=diff,
+        factors=hyp_factors.to_dict(),
+        tag_scale=scales,
+        explanation=explanation,
+        forced_digest=forced_digest,
+        forced_cost_under_hypothesis=forced_cost)

@@ -70,6 +70,7 @@ class QueryService:
                  slow_query_seconds: float = SLOW_QUERY_SECONDS,
                  slow_log_capacity: int = SLOW_LOG_CAPACITY,
                  trace_sample: int = 0,
+                 planspace_sample: int = 0,
                  slo_objectives: "tuple[SLObjective, ...] | None"
                  = None) -> None:
         if workers < 1:
@@ -78,6 +79,8 @@ class QueryService:
             raise ValueError("slow_log_capacity must be >= 0")
         if trace_sample < 0:
             raise ValueError("trace_sample must be >= 0")
+        if planspace_sample < 0:
+            raise ValueError("planspace_sample must be >= 0")
         self.database = database
         self.cache = PlanCache(capacity=cache_capacity)
         self.default_workers = workers
@@ -87,6 +90,12 @@ class QueryService:
         #: execute with spans on and land in ``database.tracer`` — on a
         #: sharded database that is a stitched cross-process trace.
         self.trace_sample = trace_sample
+        #: record the plan space of every n-th plan-cache miss (0
+        #: disables): sampled optimizations run with a
+        #: :class:`~repro.core.planspace.PlanSpaceRecorder` attached and
+        #: the rendered report lands in a bounded ring served by the
+        #: ``/planspace`` endpoint of ``stats --listen``.
+        self.planspace_sample = planspace_sample
         #: declarative objectives evaluated over every served query.
         self.slo = SLOTracker(slo_objectives or DEFAULT_OBJECTIVES)
         self._mutex = threading.Lock()
@@ -96,6 +105,8 @@ class QueryService:
         self._queries = 0
         self._errors = 0
         self._trace_clock = 0
+        self._planspace_clock = 0
+        self._planspace_ring: deque[dict[str, object]] = deque(maxlen=16)
         self._querylog_drops_seen = 0
         self._slow_queries: deque[dict[str, object]] = deque(
             maxlen=slow_log_capacity)
@@ -121,6 +132,25 @@ class QueryService:
         self._querylog_dropped = self.registry.counter(
             "repro_querylog_dropped_total",
             "Query-log records lost to a full queue or write errors")
+        # optimizer search-work counters, fed from each plan-cache
+        # miss's OptimizerReport and labelled by algorithm — cache hits
+        # did no search work and contribute nothing
+        self._opt_plans_considered = self.registry.counter(
+            "repro_optimizer_plans_considered_total",
+            "Candidate moves priced by the optimizer, per algorithm")
+        self._opt_statuses_generated = self.registry.counter(
+            "repro_optimizer_statuses_generated_total",
+            "Statuses materialized in the memo table, per algorithm")
+        self._opt_statuses_pruned = self.registry.counter(
+            "repro_optimizer_statuses_pruned_total",
+            "Statuses discarded by the Pruning Rule, per algorithm")
+        self._opt_deadends_avoided = self.registry.counter(
+            "repro_optimizer_deadends_avoided_total",
+            "Deadend statuses never generated (Lookahead Rule), "
+            "per algorithm")
+        self._opt_memo_hits = self.registry.counter(
+            "repro_optimizer_memo_hits_total",
+            "Re-derivations of an already-memoized status, per algorithm")
         # write-path histogram families are registered eagerly (their
         # # TYPE lines appear in every scrape) and mirrored from the
         # storage-side BucketRecorders by the collector when a
@@ -253,21 +283,83 @@ class QueryService:
         """Plan lookup with optimize-on-miss (single-flight).
 
         Misses record the optimizer's wall time in the
-        ``repro_optimize_seconds`` histogram, labelled by algorithm —
-        hits cost a dict probe and are deliberately not observed.
+        ``repro_optimize_seconds`` histogram and the search-work
+        counters of the ``repro_optimizer_*_total`` families, all
+        labelled by algorithm — hits cost a dict probe and are
+        deliberately not observed.  With ``planspace_sample`` set,
+        every n-th miss also runs with a plan-space recorder attached
+        and lands its report in the ring behind :meth:`planspace`.
         """
         pattern = self.database.compile(query)
         key = cache_key(pattern, algorithm, dict(options),
                         self.database.statistics_epoch)
 
         def compute():
+            recorder = None
+            run_options = options
+            if self._want_planspace():
+                from repro.core.planspace import PlanSpaceRecorder
+
+                recorder = PlanSpaceRecorder()
+                run_options = dict(options)
+                run_options["planspace"] = recorder
             result = self.database.optimize(pattern, algorithm=algorithm,
-                                            **options)
+                                            **run_options)
+            report = result.report
             self._optimize_hist.observe(
-                result.report.optimization_seconds, algorithm=algorithm)
+                report.optimization_seconds, algorithm=algorithm)
+            if report.plans_considered:
+                self._opt_plans_considered.inc(report.plans_considered,
+                                               algorithm=algorithm)
+            if report.statuses_generated:
+                self._opt_statuses_generated.inc(report.statuses_generated,
+                                                 algorithm=algorithm)
+            if report.statuses_pruned:
+                self._opt_statuses_pruned.inc(report.statuses_pruned,
+                                              algorithm=algorithm)
+            if report.deadends_avoided:
+                self._opt_deadends_avoided.inc(report.deadends_avoided,
+                                               algorithm=algorithm)
+            if report.memo_hits:
+                self._opt_memo_hits.inc(report.memo_hits,
+                                        algorithm=algorithm)
+            if recorder is not None:
+                self._retain_planspace(recorder, pattern, algorithm)
             return result
 
         return self.cache.get_or_compute(key, pattern, compute)
+
+    def _want_planspace(self) -> bool:
+        """True when this miss is the n-th of a 1-in-n planspace sample."""
+        if not self.planspace_sample:
+            return False
+        with self._mutex:
+            self._planspace_clock += 1
+            return self._planspace_clock % self.planspace_sample == 0
+
+    def _retain_planspace(self, recorder, pattern: QueryPattern,
+                          algorithm: str) -> None:
+        """Render a sampled recorder into the bounded planspace ring."""
+        from repro.obs.planspace import build_plan_space_report
+
+        try:
+            report = build_plan_space_report(recorder, query=str(pattern),
+                                             top_k=3)
+        except Exception:  # diagnostics must never fail the query
+            return
+        with self._mutex:
+            self._planspace_ring.append(report.to_dict())
+
+    def planspace(self, limit: int = 16) -> list[dict[str, object]]:
+        """Last *limit* sampled plan-space reports, newest last.
+
+        Backs the ``/planspace`` endpoint of ``stats --listen``; empty
+        unless the service was built with ``planspace_sample > 0``.
+        """
+        if limit < 1:
+            raise ValueError("limit must be at least 1")
+        with self._mutex:
+            return list(self._planspace_ring)[-limit:]
 
     def explain(self, query: "str | QueryPattern",
                 algorithm: str = "DPP", analyze: bool = False,

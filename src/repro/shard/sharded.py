@@ -378,9 +378,22 @@ class ShardedDatabase:
                                        workers=workers, engine=engine,
                                        **options)
 
+    def whatif(self, query: "str | QueryPattern",
+               algorithm: str = "DPP", factors=None,
+               tag_scale: "dict[str, float] | None" = None,
+               exact: bool = False, force_plan: str | None = None):
+        """What-if analysis against the merged statistics (plan-once
+        semantics); see :meth:`repro.api.Database.whatif`."""
+        from repro.obs.planspace import run_whatif
+
+        return run_whatif(self, query, algorithm=algorithm,
+                          factors=factors, tag_scale=tag_scale,
+                          exact=exact, force_plan=force_plan)
+
     def explain(self, query: "str | QueryPattern",
                 algorithm: str = "DPP", analyze: bool = False,
                 engine: str | None = None,
+                plan_space: bool = False, top_k: int = 3,
                 **options: object) -> ExplainReport:
         """EXPLAIN (ANALYZE) with a scatter-gather root.
 
@@ -398,6 +411,13 @@ class ShardedDatabase:
         pattern = self.compile(query)
         parse_seconds = time.perf_counter() - started
         label = query if isinstance(query, str) else repr(pattern)
+        recorder = None
+        if plan_space:
+            from repro.core.planspace import PlanSpaceRecorder
+
+            recorder = PlanSpaceRecorder()
+            options = dict(options)
+            options["planspace"] = recorder
         optimization = self.optimize(pattern, algorithm=algorithm,
                                      **options)
         report = ExplainReport(query=label, algorithm=algorithm,
@@ -411,6 +431,7 @@ class ShardedDatabase:
                 grid=self.histogram_grid),
         }
         if not analyze:
+            Database._attach_plan_space(report, recorder, label, top_k)
             return report
         execution = self.execute(optimization.plan, pattern,
                                  engine=engine, spans=True)
@@ -444,6 +465,7 @@ class ShardedDatabase:
             simulated_cost=0.0, counters={},
             children=shard_analyses)
         report.span = execution.span
+        Database._attach_plan_space(report, recorder, label, top_k)
         return report
 
     @staticmethod
