@@ -29,7 +29,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.errors import ReproError
 from repro.core.cost import CostFactors, CostModel
@@ -41,7 +41,7 @@ from repro.document.document import XmlDocument
 from repro.document.parser import parse_xml
 from repro.engine.context import EngineContext
 from repro.engine.executor import (ExecutionResult, Executor,
-                                   validate_engine)
+                                   StreamingExecution, validate_engine)
 from repro.estimation.estimator import (CardinalityEstimator,
                                         ExactEstimator,
                                         PositionalEstimator)
@@ -403,13 +403,18 @@ class Database:
     def execute(self, plan: PhysicalPlan, pattern: QueryPattern,
                 engine: str | None = None,
                 spans: bool = False,
-                algorithm: str = "") -> ExecutionResult:
+                algorithm: str = "",
+                trace_context: TraceContext | None = None
+                ) -> ExecutionResult:
         """Run a physical plan against the stored document.
 
         *engine* overrides the database default for this run
         (``"block"`` or ``"tuple"``; see :data:`Database.engine`).
         With ``spans=True`` the run records a per-operator span tree
-        (returned on :attr:`ExecutionResult.span`).
+        (returned on :attr:`ExecutionResult.span`).  *trace_context*
+        names the trace a span tree should join (a caller-propagated
+        id, e.g. from an ``X-Trace-Id`` request header) and forces
+        spans on; without it traced runs mint a fresh id.
 
         When a query log is attached every execution appends one
         record; the log's trace sampling may force spans on so the
@@ -419,7 +424,8 @@ class Database:
         """
         snapshot = self.read_snapshot()
         log = self.query_log
-        trace = spans or (log is not None and log.want_span())
+        trace = (spans or trace_context is not None
+                 or (log is not None and log.want_span()))
         engine = engine or self.engine
         context = EngineContext(snapshot.index, snapshot.store,
                                 snapshot.document,
@@ -429,7 +435,9 @@ class Database:
         if result.span is not None and not result.span.trace_id:
             # stamp trace identity once per traced run, so log records
             # and any retained span tree share a joinable trace id
-            assign_span_ids(result.span, TraceContext.new().trace_id)
+            assign_span_ids(result.span,
+                            trace_context.trace_id if trace_context
+                            else TraceContext.new().trace_id)
         if log is not None:
             log.record(build_record(
                 pattern, plan, result, algorithm=algorithm,
@@ -437,6 +445,48 @@ class Database:
                 statistics_epoch=snapshot.statistics_epoch,
                 factors=self.cost_factors))
         return result
+
+    def stream_execute(self, plan: PhysicalPlan, pattern: QueryPattern,
+                       engine: str | None = None,
+                       cancel: "Callable[[], bool] | None" = None,
+                       spans: bool = False,
+                       trace_context: TraceContext | None = None,
+                       ) -> "StreamingExecution":
+        """Run a plan incrementally, yielding rows as produced.
+
+        The network front-end's serving path: first results of a
+        pipelined (FP) plan reach the caller before the plan drains —
+        the paper's Sec. 3.4 online-querying property — and *cancel*
+        is checked before every row so deadlines stop the operators
+        mid-stream.  Always runs the tuple engine (*engine* is
+        accepted for facade parity with :class:`ShardedDatabase` and
+        ignored: block execution materializes whole results, which is
+        exactly what streaming avoids).  Traced streams (``spans=True``
+        or a *trace_context*) record their span tree on
+        :attr:`tracer` when the stream finishes; streamed runs are not
+        appended to the query log, which records only complete
+        executions.
+        """
+        del engine  # facade parity; streaming always pipelines tuples
+        snapshot = self.read_snapshot()
+        context = EngineContext(snapshot.index, snapshot.store,
+                                snapshot.document,
+                                factors=self.cost_factors)
+        executor = Executor(context, pattern, engine="tuple")
+        trace = spans or trace_context is not None
+
+        def record_trace(stream: "StreamingExecution") -> None:
+            span = stream.span
+            if span is None:
+                return
+            if not span.trace_id:
+                assign_span_ids(span,
+                                trace_context.trace_id if trace_context
+                                else TraceContext.new().trace_id)
+            self.tracer.record(span)
+
+        return executor.stream(plan, cancel=cancel, spans=trace,
+                               on_finish=record_trace if trace else None)
 
     def query(self, query: str | QueryPattern,
               algorithm: str = "DPP", engine: str | None = None,

@@ -1,0 +1,312 @@
+"""Open-loop serving benchmark (BENCH_PR10.json).
+
+Drives the HTTP query server the way real load arrives: a Poisson
+process per offered rate, split across tenants, issuing **streamed**
+FP queries so time-to-first-result is measured at the protocol level
+(the first row chunk on the wire, not an in-process timer).  Open
+loop matters — a closed loop self-throttles when the server slows
+down and hides the saturation knee; Poisson arrivals keep offering
+load regardless, so the sweep records the honest curve: achieved
+throughput, latency and TTFR percentiles, shed work (429s), deadline
+cancellations, and the /slo error-budget burn at each point.
+
+Two entry points: :func:`serving_report` owns its servers (single
+node and a 4-shard fleet, one saturation sweep each) and is what
+``repro bench serve`` runs by default; :func:`target_report` drives
+an already-running server at one rate (``--target HOST:PORT``), which
+is what CI's serving-smoke job uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import random
+import time
+from typing import Sequence
+
+from repro.bench.harness import ExperimentSetup
+from repro.server.client import HttpClient
+
+#: offered arrival rates (queries/second) of the default sweep
+DEFAULT_RATES = (8.0, 16.0, 32.0, 64.0)
+
+#: shard counts measured by the owned-server sweep; 1 is the
+#: single-node baseline, 4 the fleet the repo's CI drills
+SHARD_COUNTS = (1, 4)
+
+#: the streamed workload — FP-friendly paths on the Pers data set
+#: (sort-free plans, so first results leave before the join finishes)
+QUERIES = (
+    "//employee//name",
+    "//employee//os",
+    "//employee",
+)
+
+
+def _percentile(values: "list[float]", fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _one_request(host: str, port: int, path: str,
+                       tenant: str, deadline_ms: float) -> dict:
+    """Issue one streamed query; timestamps come off the wire."""
+    client = HttpClient(host, port)
+    started = time.perf_counter()
+    outcome = {"status": 0, "rows": 0, "seconds": 0.0,
+               "ttfr": None, "cancelled": False, "error": False}
+    try:
+        head, body = await client.stream(
+            "GET", path,
+            headers={"X-Tenant": tenant,
+                     "X-Deadline-Ms": f"{deadline_ms:g}"},
+            timeout=max(10.0, deadline_ms / 1000.0 + 10.0))
+        outcome["status"] = head.status
+        if head.status != 200:
+            async for _ in body:
+                pass
+            outcome["seconds"] = time.perf_counter() - started
+            return outcome
+        buffer = b""
+        summary: "dict | None" = None
+        async for chunk in body:
+            if outcome["ttfr"] is None:
+                # header line arrives first; first *row* chunk is the
+                # second line on the wire
+                buffer += chunk
+                if buffer.count(b"\n") >= 2:
+                    outcome["ttfr"] = time.perf_counter() - started
+            else:
+                buffer += chunk
+        lines = buffer.decode("utf-8", "replace").strip().splitlines()
+        if lines:
+            try:
+                summary = json.loads(lines[-1])
+            except ValueError:
+                summary = None
+        outcome["seconds"] = time.perf_counter() - started
+        if summary is not None:
+            outcome["rows"] = int(summary.get("rows", 0))
+            outcome["cancelled"] = bool(summary.get("cancelled"))
+            if summary.get("error") and not outcome["cancelled"]:
+                outcome["error"] = True
+        return outcome
+    except (ConnectionError, OSError, asyncio.TimeoutError,
+            asyncio.IncompleteReadError, ValueError):
+        outcome["seconds"] = time.perf_counter() - started
+        outcome["error"] = True
+        return outcome
+    finally:
+        await client.close()
+
+
+async def _drive_point(host: str, port: int, rate: float,
+                       duration: float, tenants: int,
+                       seed: int, deadline_ms: float) -> dict:
+    """One open-loop load point: Poisson arrivals at *rate* qps."""
+    rng = random.Random(seed)
+    tasks: "list[asyncio.Task]" = []
+    started = time.perf_counter()
+    offered = 0
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(rate)
+        if clock >= duration:
+            break
+        delay = started + clock - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        query = QUERIES[offered % len(QUERIES)]
+        tenant = f"t{offered % max(1, tenants)}"
+        path = f"/query?xpath={query}&stream=1"
+        tasks.append(asyncio.ensure_future(_one_request(
+            host, port, path, tenant, deadline_ms)))
+        offered += 1
+    outcomes = await asyncio.gather(*tasks) if tasks else []
+    elapsed = time.perf_counter() - started
+    completed = [o for o in outcomes if o["status"] == 200
+                 and not o["cancelled"] and not o["error"]]
+    throttled = sum(1 for o in outcomes if o["status"] == 429)
+    cancelled = sum(1 for o in outcomes if o["cancelled"]
+                    or o["status"] == 504)
+    errors = sum(1 for o in outcomes if o["error"]
+                 or o["status"] not in (0, 200, 429, 504))
+    latencies = [o["seconds"] for o in completed]
+    firsts = [o["ttfr"] for o in completed if o["ttfr"] is not None]
+    return {
+        "offered_rate": rate,
+        "offered": offered,
+        "duration_seconds": round(elapsed, 6),
+        "achieved_rate": round(len(completed) / elapsed, 3)
+        if elapsed else 0.0,
+        "completed": len(completed),
+        "throttled": throttled,
+        "cancelled": cancelled,
+        "errors": errors,
+        "rows": sum(o["rows"] for o in completed),
+        "latency_p50_seconds": round(_percentile(latencies, 0.5), 6),
+        "latency_p95_seconds": round(_percentile(latencies, 0.95), 6),
+        "ttfr_p50_seconds": round(_percentile(firsts, 0.5), 6),
+        "ttfr_p95_seconds": round(_percentile(firsts, 0.95), 6),
+    }
+
+
+async def _scrape_burn(host: str, port: int) -> "list[dict]":
+    """The per-objective burn rates from /slo (empty on failure)."""
+    from repro.server.client import fetch
+
+    try:
+        response = await fetch(host, port, "GET", "/slo", timeout=10)
+        payload = response.json()
+    except (ConnectionError, OSError, ValueError,
+            asyncio.TimeoutError):
+        return []
+    return [{"objective": entry["name"],
+             "compliance": entry["compliance"],
+             "burn_rate": entry["burn_rate"],
+             "recent_burn_rate": entry["recent_burn_rate"],
+             "events": entry["events"]}
+            for entry in payload.get("objectives", [])]
+
+
+def _sweep(host: str, port: int, rates: Sequence[float],
+           duration: float, tenants: int, seed: int,
+           deadline_ms: float) -> "list[dict]":
+    async def run() -> "list[dict]":
+        points = []
+        for index, rate in enumerate(rates):
+            point = await _drive_point(host, port, rate, duration,
+                                       tenants, seed + index,
+                                       deadline_ms)
+            point["slo"] = await _scrape_burn(host, port)
+            points.append(point)
+        return points
+
+    return asyncio.run(run())
+
+
+def serving_report(setup: ExperimentSetup,
+                   rates: Sequence[float] = DEFAULT_RATES,
+                   duration: float = 1.5,
+                   tenants: int = 4,
+                   deadline_ms: float = 5000.0) -> dict:
+    """Saturation sweeps against owned servers, single-node and
+    4-shard, on the Pers data set."""
+    import io
+
+    from repro.api import Database
+    from repro.server.app import QueryServer, ServerConfig
+    from repro.workloads.personnel import personnel_document
+
+    document = personnel_document(target_nodes=setup.pers_nodes,
+                                  seed=setup.seed)
+    configs = []
+    for shards in SHARD_COUNTS:
+        if shards > 1:
+            from repro.shard.sharded import ShardedDatabase
+
+            database = ShardedDatabase(document, shards=shards)
+        else:
+            database = Database.from_document(document)
+        # quotas off: the sweep saturates the global gate on purpose,
+        # shedding is reported per point via the 429 count
+        server = QueryServer(database, ServerConfig(
+            port=0, tenant_rate=0.0,
+            deadline_seconds=deadline_ms / 1000.0),
+            out=io.StringIO())  # the report is the output
+        try:
+            host, port = server.start()
+            points = _sweep(host, port, rates, duration, tenants,
+                            setup.seed, deadline_ms)
+        finally:
+            server.stop()
+            if shards > 1:
+                database.close()
+        configs.append({"shards": shards,
+                        "workers": server.config.workers,
+                        "queue_depth": server.config.queue_depth,
+                        "points": points})
+    return {
+        "bench": "serve",
+        "dataset": "pers",
+        "pers_nodes": setup.pers_nodes,
+        "tenants": tenants,
+        "duration_seconds": duration,
+        "deadline_ms": deadline_ms,
+        "queries": list(QUERIES),
+        "python": platform.python_version(),
+        "configs": configs,
+    }
+
+
+def target_report(host: str, port: int, rate: float = 20.0,
+                  duration: float = 1.5, tenants: int = 4,
+                  seed: int = 42,
+                  deadline_ms: float = 5000.0) -> dict:
+    """One load point against an already-running server."""
+    points = _sweep(host, port, [rate], duration, tenants, seed,
+                    deadline_ms)
+    return {
+        "bench": "serve",
+        "target": f"{host}:{port}",
+        "tenants": tenants,
+        "duration_seconds": duration,
+        "deadline_ms": deadline_ms,
+        "queries": list(QUERIES),
+        "python": platform.python_version(),
+        "configs": [{"shards": None, "points": points}],
+    }
+
+
+def render_serving_report(report: dict) -> str:
+    """The human-readable saturation table."""
+    lines = []
+    target = report.get("target")
+    title = (f"serving bench against {target}" if target
+             else f"serving bench, pers "
+                  f"({report.get('pers_nodes', '?')} nodes)")
+    lines.append(title)
+    header = (f"{'shards':>6} {'offered':>8} {'achieved':>9} "
+              f"{'done':>6} {'429':>5} {'canc':>5} {'err':>4} "
+              f"{'p50 ms':>8} {'p95 ms':>8} {'ttfr p50':>9} "
+              f"{'ttfr p95':>9}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for config in report["configs"]:
+        label = config["shards"] if config["shards"] else "-"
+        for point in config["points"]:
+            lines.append(
+                f"{label!s:>6} {point['offered_rate']:>8.1f} "
+                f"{point['achieved_rate']:>9.2f} "
+                f"{point['completed']:>6} {point['throttled']:>5} "
+                f"{point['cancelled']:>5} {point['errors']:>4} "
+                f"{point['latency_p50_seconds'] * 1e3:>8.2f} "
+                f"{point['latency_p95_seconds'] * 1e3:>8.2f} "
+                f"{point['ttfr_p50_seconds'] * 1e3:>9.2f} "
+                f"{point['ttfr_p95_seconds'] * 1e3:>9.2f}")
+    for config in report["configs"]:
+        points = config["points"]
+        if not points or not points[-1].get("slo"):
+            continue
+        label = config["shards"] if config["shards"] else "target"
+        for entry in points[-1]["slo"]:
+            if entry["objective"] in ("query_errors",
+                                      "time_to_first_result"):
+                lines.append(
+                    f"slo[{label}] {entry['objective']}: "
+                    f"compliance {entry['compliance']:.4f}, "
+                    f"burn {entry['burn_rate']:.2f}x "
+                    f"({entry['events']} events)")
+    return "\n".join(lines)
+
+
+def write_serving_report(report: dict, target: str) -> None:
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -7,6 +7,10 @@ Commands:
 * ``explain``  — show the plans every algorithm picks for a query.
 * ``stats``    — storage and data statistics of a document; with
   ``--listen PORT`` keep serving /metrics over HTTP.
+* ``serve``    — the async network front-end: HTTP/JSON queries with
+  per-tenant admission control, per-request deadlines, and chunked
+  streaming of first results, plus the observability routes on the
+  same port (``stats --listen`` serves the same server).
 * ``generate`` — write one of the synthetic benchmark documents as XML.
 * ``bench``    — regenerate a paper table or figure.
 * ``log``      — run the paper workload with a persistent JSONL query
@@ -220,6 +224,57 @@ def build_parser() -> argparse.ArgumentParser:
                             "ring (default 0 = never)")
     add_service_flags(stats)
 
+    serve = commands.add_parser(
+        "serve", help="serve queries over HTTP/JSON with admission "
+                      "control, deadlines and streamed first results")
+    add_source(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8400,
+                       help="port to listen on (default 8400; 0 picks "
+                            "a free port; exit 2 if taken)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query executor threads (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       metavar="N",
+                       help="admitted requests beyond the workers "
+                            "before 429 saturation (default 8)")
+    serve.add_argument("--tenant-rate", type=float, default=50.0,
+                       metavar="QPS",
+                       help="per-tenant token-bucket refill rate "
+                            "(default 50/s; 0 disables quotas)")
+    serve.add_argument("--tenant-burst", type=float, default=100.0,
+                       metavar="N",
+                       help="per-tenant burst capacity (default 100)")
+    serve.add_argument("--timeout-ms", type=float, default=30000.0,
+                       metavar="MS",
+                       help="default per-request deadline "
+                            "(default 30000 ms)")
+    serve.add_argument("--drain-seconds", type=float, default=5.0,
+                       metavar="S",
+                       help="shutdown budget for in-flight requests "
+                            "(default 5 s)")
+    serve.add_argument("--algorithm", choices=ALGORITHMS,
+                       default="DPP",
+                       help="default optimizer for requests that "
+                            "name none")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="serve the corpus partitioned across N "
+                            "process-based shards (0 = single node)")
+    serve.add_argument("--query-log", metavar="FILE", default=None,
+                       help="attach a persistent JSONL query log "
+                            "(flushed on drain)")
+    serve.add_argument("--trace-sample", type=int, default=0,
+                       metavar="K",
+                       help="trace every K-th served query into "
+                            "/traces (default 0 = only X-Trace-Id "
+                            "requests)")
+    serve.add_argument("--planspace-sample", type=int, default=0,
+                       metavar="K",
+                       help="record the plan space of every K-th "
+                            "plan-cache miss into /planspace")
+    add_service_flags(serve)
+
     generate = commands.add_parser(
         "generate", help="write a synthetic data set as XML")
     generate.add_argument("dataset", choices=("pers", "dblp", "mbench"))
@@ -234,7 +289,8 @@ def build_parser() -> argparse.ArgumentParser:
                       "live ingest plan-crossover bench ('ingest')")
     bench.add_argument("artifact",
                        choices=sorted(BENCH_DRIVERS) + ["engines",
-                                                        "ingest"])
+                                                        "ingest",
+                                                        "serve"])
     bench.add_argument("--pers-nodes", type=int, default=2000)
     bench.add_argument("--seed", type=int, default=42,
                        help="data-set generation seed (default 42)")
@@ -250,6 +306,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "speed comparison; every point carries a "
                             "stitched-trace per-shard span breakdown; "
                             "JSON goes to e.g. BENCH_PR8.json")
+    bench.add_argument("--duration", type=float, default=1.5,
+                       metavar="S",
+                       help="seconds per load point ('serve' only; "
+                            "default 1.5)")
+    bench.add_argument("--rates", default=None, metavar="R1,R2,..",
+                       help="offered Poisson arrival rates in qps for "
+                            "the 'serve' saturation sweep (default "
+                            "8,16,32,64)")
+    bench.add_argument("--tenants", type=int, default=4,
+                       help="tenants driving load ('serve' only; "
+                            "default 4)")
+    bench.add_argument("--target", default=None, metavar="HOST:PORT",
+                       help="'serve' only: drive an already-running "
+                            "server instead of starting one (single "
+                            "load point, rate from --rate)")
+    bench.add_argument("--rate", type=float, default=20.0,
+                       help="offered rate for --target mode "
+                            "(default 20 qps)")
 
     log_cmd = commands.add_parser(
         "log", help="run the paper workload with a persistent query "
@@ -664,85 +738,22 @@ def _serve_paper_workload(database: Database, dataset: str | None,
 
 def _run_metrics_server(database: Database, port: int,
                         out: IO[str]) -> int:
-    """Serve /metrics, /traces, /slo, /planspace and /healthz.
+    """``stats --listen``: the full query server on 127.0.0.1.
 
-    ``/metrics`` is the Prometheus text format; ``/traces`` returns
-    the retained query traces (stitched cross-process trees on a
-    sharded database), ``/slo`` the objective compliance snapshot
-    with its per-bucket trace exemplars, and ``/planspace`` the
-    sampled plan-space reports (empty unless the service runs with
-    ``--planspace-sample``), all as JSON.  ``/healthz`` is the
-    liveness probe: 200 with uptime and the statistics epoch.
-
-    Binds 127.0.0.1 only (an observability endpoint, not a public
-    API).  A taken port is an operator error, not a crash: report it
-    and exit 2 so scripts can tell it from query failures (exit 1).
+    An alias for ``repro serve`` with default admission settings —
+    the same :class:`~repro.server.QueryServer`, so ``/query``,
+    ``/metrics``, ``/traces``, ``/slo``, ``/planspace`` and
+    ``/healthz`` share one port, one signal handler and one drain
+    path.  A taken port is an operator error, not a crash: report it
+    and exit 2 so scripts can tell it from query failures (exit 1);
+    SIGTERM drains and exits 0, Ctrl-C drains and exits 130.
     """
-    import time as _time
-    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+    from repro.server import QueryServer, ServerConfig
 
-    service = database.service
-    started = _time.monotonic()
-
-    class MetricsHandler(BaseHTTPRequestHandler):
-        def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            route = self.path.partition("?")[0]
-            if route in ("/", "/metrics"):
-                body = service.export_metrics(
-                    "prometheus").encode("utf-8")
-                content_type = "text/plain; version=0.0.4"
-            elif route == "/traces":
-                body = json.dumps({"traces": service.traces()},
-                                  indent=2,
-                                  sort_keys=True).encode("utf-8")
-                content_type = "application/json"
-            elif route == "/slo":
-                body = json.dumps(service.slo.snapshot(), indent=2,
-                                  sort_keys=True).encode("utf-8")
-                content_type = "application/json"
-            elif route == "/planspace":
-                body = json.dumps({"planspace": service.planspace()},
-                                  indent=2,
-                                  sort_keys=True).encode("utf-8")
-                content_type = "application/json"
-            elif route == "/healthz":
-                body = json.dumps({
-                    "status": "ok",
-                    "uptime_seconds": _time.monotonic() - started,
-                    "statistics_epoch": database.statistics_epoch,
-                    "queries": service.snapshot()["queries"],
-                }, indent=2, sort_keys=True).encode("utf-8")
-                content_type = "application/json"
-            else:
-                self.send_error(404)
-                return
-            self.send_response(200)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-
-        def log_message(self, *args: object) -> None:
-            pass
-
-    try:
-        server = ThreadingHTTPServer(("127.0.0.1", port),
-                                     MetricsHandler)
-    except OSError as exc:
-        print(f"error: cannot listen on 127.0.0.1:{port}: {exc}",
-              file=sys.stderr)
-        return 2
-    out.write(f"serving /metrics, /traces, /slo, /planspace and "
-              f"/healthz on "
-              f"http://127.0.0.1:{server.server_address[1]} "
-              f"(Ctrl-C to stop)\n")
-    try:
-        server.serve_forever(poll_interval=0.2)
-    except KeyboardInterrupt:
-        out.write("shutting down\n")
-    finally:
-        server.server_close()
-    return 0
+    server = QueryServer(database,
+                         ServerConfig(host="127.0.0.1", port=port),
+                         out=out)
+    return server.run()
 
 
 def _command_stats(arguments: argparse.Namespace, out: IO[str]) -> int:
@@ -792,6 +803,68 @@ def _run_stats(database, arguments: argparse.Namespace,
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace, out: IO[str]) -> int:
+    from repro.server import ServerConfig
+
+    if arguments.shards < 0:
+        raise ReproError("--shards must be >= 0")
+    if arguments.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    if arguments.queue_depth < 0:
+        raise ReproError("--queue-depth must be >= 0")
+    if arguments.timeout_ms <= 0:
+        raise ReproError("--timeout-ms must be > 0")
+    if arguments.trace_sample < 0:
+        raise ReproError("--trace-sample must be >= 0")
+    if arguments.planspace_sample < 0:
+        raise ReproError("--planspace-sample must be >= 0")
+    options = _service_options(arguments)
+    if arguments.trace_sample:
+        options["trace_sample"] = arguments.trace_sample
+    if arguments.planspace_sample:
+        options["planspace_sample"] = arguments.planspace_sample
+    config = ServerConfig(
+        host=arguments.host,
+        port=arguments.port,
+        workers=arguments.workers,
+        queue_depth=arguments.queue_depth,
+        tenant_rate=arguments.tenant_rate,
+        tenant_burst=arguments.tenant_burst,
+        deadline_seconds=arguments.timeout_ms / 1000.0,
+        drain_seconds=arguments.drain_seconds,
+        algorithm=arguments.algorithm,
+    )
+    if arguments.shards:
+        from repro.shard.sharded import ShardedDatabase
+
+        with ShardedDatabase(_shard_corpus_document(arguments),
+                             shards=arguments.shards,
+                             service_options=options) as database:
+            return _run_server(database, config, arguments, out)
+    database = _open_database(arguments)
+    database.service_options.update(options)
+    return _run_server(database, config, arguments, out)
+
+
+def _run_server(database, config, arguments: argparse.Namespace,
+                out: IO[str]) -> int:
+    from repro.server import QueryServer
+
+    if getattr(arguments, "query_log", None):
+        from repro.obs.querylog import QueryLog
+
+        if not hasattr(database, "attach_query_log"):
+            raise ReproError("--query-log is single-node only; "
+                             "drop --shards")
+        with QueryLog(arguments.query_log) as log:
+            database.attach_query_log(log)
+            try:
+                return QueryServer(database, config, out=out).run()
+            finally:
+                database.attach_query_log(None)
+    return QueryServer(database, config, out=out).run()
+
+
 def _command_generate(arguments: argparse.Namespace,
                       out: IO[str]) -> int:
     kwargs = {"seed": arguments.seed}
@@ -813,6 +886,30 @@ def _command_generate(arguments: argparse.Namespace,
 def _command_bench(arguments: argparse.Namespace, out: IO[str]) -> int:
     setup = ExperimentSetup(pers_nodes=arguments.pers_nodes,
                             seed=arguments.seed)
+    if arguments.artifact == "serve":
+        from repro.bench.serve import (render_serving_report,
+                                       serving_report,
+                                       target_report)
+
+        rates = [float(rate) for rate in
+                 (arguments.rates or "8,16,32,64").split(",")]
+        if arguments.target:
+            host, _, port = arguments.target.rpartition(":")
+            if not host or not port.isdigit():
+                raise ReproError("--target must be HOST:PORT")
+            report = target_report(host, int(port),
+                                   rate=arguments.rate,
+                                   duration=arguments.duration,
+                                   tenants=arguments.tenants,
+                                   seed=arguments.seed)
+        else:
+            report = serving_report(setup, rates=rates,
+                                    duration=arguments.duration,
+                                    tenants=arguments.tenants)
+        out.write(render_serving_report(report) + "\n")
+        if arguments.json:
+            _write_json_payload(report, arguments.json, out)
+        return 0
     if arguments.artifact == "engines" and arguments.shards:
         from repro.bench.shard import (render_shard_report,
                                        shard_scaling_report,
@@ -1147,6 +1244,7 @@ _COMMANDS = {
     "query": _command_query,
     "explain": _command_explain,
     "stats": _command_stats,
+    "serve": _command_serve,
     "generate": _command_generate,
     "bench": _command_bench,
     "log": _command_log,

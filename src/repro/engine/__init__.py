@@ -20,9 +20,12 @@ from repro.engine.nestedloop import (naive_pattern_matches,
 from repro.engine.twigstack import TwigStackMatcher, holistic_matches
 from repro.engine.valuejoin import (ValueJoin, ValueJoinResult,
                                     group_counts, group_matches)
-from repro.engine.executor import FirstResultTiming
+from repro.engine.executor import (FirstResultTiming, StreamingExecution,
+                                   measure_time_to_first)
 
 __all__ = [
+    "StreamingExecution",
+    "measure_time_to_first",
     "TwigStackMatcher",
     "holistic_matches",
     "ValueJoin",

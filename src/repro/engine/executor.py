@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
-from repro.errors import PlanError
+from repro.errors import PlanError, QueryCancelled
 from repro.core.pattern import QueryPattern
 from repro.core.plans import (IndexScanPlan, JoinAlgorithm, PhysicalPlan,
                               SortPlan, StructuralJoinPlan)
@@ -98,6 +99,118 @@ class FirstResultTiming:
     total_seconds: float
     first_count: int
     total_count: int
+
+
+class StreamingExecution:
+    """One incrementally-consumed plan execution.
+
+    Iterating the handle pulls match tuples out of the (tuple-engine)
+    pipeline as they are produced — the property FP plans buy by being
+    sort-free.  The handle records :attr:`first_seconds` (time to the
+    first row), :attr:`total_seconds`, and :attr:`produced`, and checks
+    the optional *cancel* predicate before every pull so a deadline or
+    disconnect stops the operators mid-stream rather than after the
+    fact; cancellation surfaces as :class:`QueryCancelled` and closes
+    the pipeline.  Abandoning the iteration early (or calling
+    :meth:`close`) also closes the pipeline and finalizes the metrics,
+    so partial reads never leak open operator state.
+    """
+
+    def __init__(self, schema: Schema, metrics: ExecutionMetrics,
+                 source: Iterator[MatchTuple], *,
+                 cancel: Callable[[], bool] | None = None,
+                 span: Span | None = None,
+                 started: float | None = None,
+                 on_finish: Callable[["StreamingExecution"], None]
+                 | None = None) -> None:
+        self.schema = schema
+        self.metrics = metrics
+        self.span = span
+        self.produced = 0
+        self.first_seconds: float | None = None
+        self.total_seconds = 0.0
+        self.cancelled = False
+        self.finished = False
+        self._source = source
+        self._cancel = cancel
+        self._started = started
+        self._on_finish = on_finish
+        self._iterator: Iterator[MatchTuple] | None = None
+
+    def __iter__(self) -> Iterator[MatchTuple]:
+        if self._iterator is None:
+            self._iterator = self._rows()
+        return self._iterator
+
+    def elapsed(self) -> float:
+        """Seconds since the stream started (0.0 before the first pull)."""
+        if self._started is None:
+            return 0.0
+        if self.finished:
+            return self.total_seconds
+        return time.perf_counter() - self._started
+
+    def _rows(self) -> Iterator[MatchTuple]:
+        if self._started is None:
+            self._started = time.perf_counter()
+        try:
+            for match in self._source:
+                if self._cancel is not None and self._cancel():
+                    self.cancelled = True
+                    raise QueryCancelled(
+                        f"query cancelled after {self.produced} rows")
+                self.produced += 1
+                if self.first_seconds is None:
+                    self.first_seconds = time.perf_counter() - self._started
+                yield match
+            if self._cancel is not None and self._cancel():
+                # cancel raced the final row; report it so callers see
+                # a consistent cancelled outcome either way
+                self.cancelled = True
+                raise QueryCancelled(
+                    f"query cancelled after {self.produced} rows")
+        finally:
+            self._finish()
+
+    def close(self) -> None:
+        """Stop early: close the pipeline and finalize the metrics."""
+        if self._iterator is not None:
+            self._iterator.close()
+        else:
+            self._finish()
+
+    def drain(self) -> int:
+        """Consume all remaining rows; returns the final row count."""
+        for _ in self:
+            pass
+        return self.produced
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        if self._started is not None:
+            self.total_seconds = time.perf_counter() - self._started
+        close = getattr(self._source, "close", None)
+        if close is not None:
+            close()
+        if self._on_finish is not None:
+            self._on_finish(self)
+
+
+def measure_time_to_first(stream: StreamingExecution,
+                          results: int = 1) -> FirstResultTiming:
+    """Drain *stream* and report when the *results*-th row arrived."""
+    first_seconds: float | None = None
+    for _ in stream:
+        if first_seconds is None and stream.produced >= results:
+            first_seconds = stream.elapsed()
+    if first_seconds is None:
+        first_seconds = stream.total_seconds
+    return FirstResultTiming(first_seconds=first_seconds,
+                             total_seconds=stream.total_seconds,
+                             first_count=min(stream.produced, results),
+                             total_count=stream.produced)
 
 
 class Executor:
@@ -265,6 +378,52 @@ class Executor:
         return ExecutionResult(tuples=tuples, schema=schema,
                                metrics=metrics, span=span_root)
 
+    def stream(self, plan: PhysicalPlan, *,
+               cancel: Callable[[], bool] | None = None,
+               spans: bool = False,
+               on_finish: Callable[[StreamingExecution], None]
+               | None = None) -> StreamingExecution:
+        """Run *plan* incrementally with run-private metrics.
+
+        Always runs the tuple engine — streaming delivery is exactly
+        the property block-at-a-time execution trades away.  The
+        returned handle yields rows as the pipeline produces them;
+        *cancel* is checked before every pull (see
+        :class:`StreamingExecution`).  Page/buffer I/O deltas and span
+        finalization happen when the stream finishes (drained,
+        cancelled, or closed early), after which *on_finish* runs.
+        """
+        run = self.context.for_run()
+        metrics = run.metrics
+        pool = run.tag_index.pool
+        io_before = pool.disk.stats.snapshot()
+        hits_before = pool.stats.hits
+        misses_before = pool.stats.misses
+        root = self.build(plan, run)
+        span_root: Span | None = None
+        if spans:
+            span_root = self.instrument(root, plan, run.factors)
+
+        def finalize(stream: StreamingExecution) -> None:
+            metrics.wall_seconds = stream.total_seconds
+            if span_root is not None:
+                # operators wrap their iterators, so span seconds and
+                # output_rows were measured live; only the counters
+                # need folding into the run totals
+                for span in span_root.walk():
+                    metrics.merge(span.metrics)
+            metrics.page_reads = pool.disk.stats.reads - io_before.reads
+            metrics.page_writes = (pool.disk.stats.writes
+                                   - io_before.writes)
+            metrics.buffer_hits = pool.stats.hits - hits_before
+            metrics.buffer_misses = pool.stats.misses - misses_before
+            if on_finish is not None:
+                on_finish(stream)
+
+        return StreamingExecution(root.schema, metrics, root.run(),
+                                  cancel=cancel, span=span_root,
+                                  on_finish=finalize)
+
     def time_to_first(self, plan: PhysicalPlan,
                       results: int = 1) -> FirstResultTiming:
         """Measure result latency: blocking operators delay the first
@@ -273,23 +432,4 @@ class Executor:
         Always runs the tuple engine — streaming latency is exactly
         the property block-at-a-time execution trades away.
         """
-        root = self.build(plan, self.context.for_run())
-        stream = root.run()
-        started = time.perf_counter()
-        produced = 0
-        first_seconds = 0.0
-        for _ in stream:
-            produced += 1
-            if produced == results:
-                first_seconds = time.perf_counter() - started
-                break
-        first_count = produced
-        if produced < results:
-            first_seconds = time.perf_counter() - started
-        for _ in stream:
-            produced += 1
-        total_seconds = time.perf_counter() - started
-        return FirstResultTiming(first_seconds=first_seconds,
-                                 total_seconds=total_seconds,
-                                 first_count=first_count,
-                                 total_count=produced)
+        return measure_time_to_first(self.stream(plan), results=results)

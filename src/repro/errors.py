@@ -97,3 +97,12 @@ class ShardError(ReproError):
 
 class RecoveryError(ReproError):
     """Raised when crash recovery finds an unrecoverable log or store."""
+
+
+class QueryCancelled(ReproError):
+    """A streaming execution was cancelled before it drained.
+
+    Raised out of :meth:`repro.engine.executor.StreamingExecution.rows`
+    when the caller-supplied cancel predicate turns true (deadline
+    expiry, client disconnect, shutdown drain).  The partial counters
+    accumulated so far remain valid on the stream handle."""

@@ -1,0 +1,31 @@
+"""Async network front-end: HTTP/JSON serving with admission control.
+
+The serving layer the ROADMAP names as the top open seam: a
+stdlib-``asyncio`` HTTP server (:mod:`repro.server.app`) over
+:class:`~repro.service.QueryService` and either database facade, with
+per-tenant token-bucket quotas and global queue-depth backpressure
+(:mod:`repro.server.admission`), per-request deadlines that cancel the
+executor mid-stream, and chunked NDJSON streaming of first results —
+the paper's Sec. 3.4 online-querying property surfaced as a measured
+time-to-first-result SLO.  :mod:`repro.server.client` is the matching
+minimal HTTP client used by the tests and the load harness.
+"""
+
+from repro.server.admission import (AdmissionController, Rejection,
+                                    TokenBucket)
+from repro.server.app import QueryServer, ServerConfig
+from repro.server.client import ClientResponse, HttpClient, fetch
+from repro.server.http import HttpRequest, ProtocolError
+
+__all__ = [
+    "AdmissionController",
+    "Rejection",
+    "TokenBucket",
+    "QueryServer",
+    "ServerConfig",
+    "ClientResponse",
+    "HttpClient",
+    "fetch",
+    "HttpRequest",
+    "ProtocolError",
+]

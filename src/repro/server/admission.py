@@ -1,0 +1,147 @@
+"""Admission control: per-tenant quotas and global backpressure.
+
+Two gates guard the query path, checked in order:
+
+1. **Per-tenant token bucket** — each tenant refills at
+   ``tenant_rate`` requests/second up to a burst of ``tenant_burst``.
+   A drained bucket rejects with the exact time until the next token
+   exists, so one saturating tenant is throttled with an honest
+   ``Retry-After`` while every other tenant keeps its SLOs.
+2. **Global queue depth** — at most ``workers + queue_depth``
+   requests may be in flight (executing plus waiting for a worker
+   thread).  Beyond that the server is saturated and sheds load
+   instead of queueing unboundedly; the retry hint is derived from an
+   EWMA of recent service times, i.e. "how long until a slot frees".
+
+Both gates are time-based and take an injectable monotonic clock, so
+tests can assert the Retry-After arithmetic exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TokenBucket", "Rejection", "AdmissionController"]
+
+#: fallback saturation retry hint before any request has completed
+DEFAULT_RETRY_SECONDS = 0.5
+
+
+class TokenBucket:
+    """Classic token bucket: *rate* tokens/second, capacity *burst*.
+
+    Not thread-safe on its own — the :class:`AdmissionController`
+    serializes access under one lock for all tenants.
+    """
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token; returns 0.0 on success, else seconds until
+        one token will have accrued."""
+        if now > self.updated:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self.updated)
+                              * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class Rejection:
+    """Why a request was refused, and when retrying could succeed."""
+
+    reason: str  # "tenant_quota" | "saturated"
+    retry_after: float
+    tenant: str = ""
+
+
+class AdmissionController:
+    """The two-gate admission decision for one server.
+
+    ``admit`` either claims an in-flight slot (returning ``None``) or
+    returns a :class:`Rejection`; every successful admit must be paired
+    with exactly one ``release`` (the server does so in a ``finally``).
+    A non-positive *tenant_rate* disables the per-tenant gate (the
+    load harness saturates the global gate on purpose).
+    """
+
+    def __init__(self, max_inflight: int, *,
+                 tenant_rate: float = 0.0,
+                 tenant_burst: float = 0.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.max_inflight = max(1, max_inflight)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = max(tenant_burst, 1.0)
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._avg_seconds = 0.0
+        self._completed = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._mutex:
+            return self._inflight
+
+    def admit(self, tenant: str = "") -> Rejection | None:
+        now = self._clock()
+        with self._mutex:
+            if self.tenant_rate > 0.0:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = TokenBucket(self.tenant_rate,
+                                         self.tenant_burst, now)
+                    self._buckets[tenant] = bucket
+                wait = bucket.try_take(now)
+                if wait > 0.0:
+                    return Rejection(reason="tenant_quota",
+                                     retry_after=wait, tenant=tenant)
+            if self._inflight >= self.max_inflight:
+                return Rejection(reason="saturated",
+                                 retry_after=self._retry_hint(),
+                                 tenant=tenant)
+            self._inflight += 1
+            return None
+
+    def release(self, seconds: float | None = None) -> None:
+        """Free the slot; *seconds* (the request's service time) feeds
+        the EWMA behind the saturation retry hint."""
+        with self._mutex:
+            if self._inflight > 0:
+                self._inflight -= 1
+            if seconds is not None:
+                self._completed += 1
+                if self._completed == 1:
+                    self._avg_seconds = seconds
+                else:
+                    self._avg_seconds += 0.2 * (seconds
+                                                - self._avg_seconds)
+
+    def _retry_hint(self) -> float:
+        # a slot frees roughly once per average service time; hint at
+        # least a tenth of a second so clients do not busy-retry
+        if self._completed == 0:
+            return DEFAULT_RETRY_SECONDS
+        return max(0.1, self._avg_seconds)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._mutex:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "tenants": len(self._buckets),
+                "completed": self._completed,
+                "avg_seconds": self._avg_seconds,
+            }

@@ -1,0 +1,721 @@
+"""The asyncio HTTP/JSON query server.
+
+One event loop owns connections and deadlines; plan optimization and
+execution run on a thread pool, streaming rows back through the loop.
+``/query`` is admission-controlled (see :mod:`repro.server.admission`);
+the observability routes (``/metrics``, ``/traces``, ``/slo``,
+``/planspace``, ``/healthz``) are served from the same socket but are
+never shed — you can always observe a saturated server.
+
+Request surface (``GET`` with query-string parameters or ``POST``
+with a JSON object; body keys win)::
+
+    xpath       required       the query
+    algorithm   DPP            one of the paper's optimizers
+    engine      server default execution mode (sharded workers only;
+                               the streamed coordinator path always
+                               pipelines tuples)
+    stream      0              1/true: chunked NDJSON, rows as produced
+    limit       0              stop after N rows (0 = all)
+    timeout_ms  config default per-request deadline
+    tenant      "anonymous"    admission bucket (or ``X-Tenant``)
+
+``X-Trace-Id`` forces a traced execution joined to the caller's trace
+id — the stitched tree lands in ``/traces`` under that id.  Deadline
+expiry cancels the executor mid-stream: the cancel predicate is
+checked before every row, the operators are closed, the 504 (or the
+terminal NDJSON line with ``"cancelled": true``) reports how far the
+query got, and the error-budget burn shows up in ``/slo``.
+
+Shutdown is one path for every entry point (``repro serve``,
+``stats --listen``, tests): stop accepting, finish in-flight requests
+within the drain budget, flush the query log, report.  SIGTERM exits
+0, SIGINT exits 130, a taken port exits 2 before serving anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import IO
+
+from repro.errors import (OptimizerError, PatternError, PlanError,
+                          QueryCancelled, ReproError, XPathSyntaxError)
+from repro.engine.executor import validate_engine
+from repro.obs.spans import TraceContext
+from repro.server.admission import AdmissionController, Rejection
+from repro.server.http import (ChunkedWriter, HttpRequest,
+                               ProtocolError, json_response,
+                               read_request, render_response)
+
+__all__ = ["ServerConfig", "QueryServer"]
+
+#: request errors that are the client's fault
+BAD_REQUEST_ERRORS = (XPathSyntaxError, PatternError, PlanError,
+                      OptimizerError)
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`QueryServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port, announce the real one
+    workers: int = 4  # query executor threads
+    queue_depth: int = 8  # admitted requests beyond the workers
+    tenant_rate: float = 50.0  # requests/second/tenant (0 disables)
+    tenant_burst: float = 100.0
+    deadline_seconds: float = 30.0  # default per-request deadline
+    max_deadline_seconds: float = 300.0
+    drain_seconds: float = 5.0  # shutdown budget for in-flight work
+    keep_alive_seconds: float = 75.0  # idle connection timeout
+    max_body_bytes: int = 1 << 20
+    algorithm: str = "DPP"
+
+    @property
+    def max_inflight(self) -> int:
+        return self.workers + self.queue_depth
+
+
+@dataclass
+class _QueryParams:
+    xpath: str
+    algorithm: str
+    engine: "str | None"
+    stream: bool
+    limit: int
+    deadline: float
+    tenant: str
+    trace_id: str
+
+
+class QueryServer:
+    """Serve a :class:`~repro.api.Database` (or sharded facade) over
+    HTTP.
+
+    Three ways to run it: :meth:`run` blocks the calling thread and
+    owns signals (the CLI path, both ``repro serve`` and
+    ``stats --listen``); :meth:`start` / :meth:`stop` run the loop on
+    a daemon thread (tests, the load harness); or await :meth:`serve`
+    from an existing loop.
+    """
+
+    def __init__(self, database, config: ServerConfig | None = None,
+                 out: "IO[str] | None" = None) -> None:
+        self.database = database
+        self.config = config or ServerConfig()
+        self.service = database.service
+        self.out = out if out is not None else sys.stdout
+        self.admission = AdmissionController(
+            self.config.max_inflight,
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst=self.config.tenant_burst)
+        self.host = self.config.host
+        self.port = self.config.port
+        self.exit_code = 0
+        self._executor: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._connections: "set[asyncio.Task]" = set()
+        self._draining = False
+        self._started_monotonic = time.monotonic()
+        self._requests_inflight = 0
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._bind_error: OSError | None = None
+        self._served = 0  # lifetime request count for the drain report
+        registry = self.service.registry
+        self._http_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status")
+        self._http_rejections = registry.counter(
+            "repro_http_rejected_total",
+            "Requests shed by admission control, by reason")
+        self._http_cancelled = registry.counter(
+            "repro_http_cancelled_total",
+            "Requests cancelled by their deadline")
+        registry.register_collector(self._collect_gauges)
+
+    def _collect_gauges(self) -> None:
+        registry = self.service.registry
+        snapshot = self.admission.snapshot()
+        registry.gauge("repro_http_inflight",
+                       "Admitted requests currently in flight").set(
+            snapshot["inflight"])
+        registry.gauge("repro_http_draining",
+                       "1 while the server drains for shutdown").set(
+            1 if self._draining else 0)
+        registry.gauge("repro_http_tenants",
+                       "Tenants with an admission bucket").set(
+            snapshot["tenants"])
+
+    def _count_request(self, route: str, status: int) -> None:
+        self._served += 1
+        self._http_requests.inc(route=route, status=str(status))
+
+    # -- lifecycle (the one shutdown path) ------------------------------
+
+    def run(self, install_signals: bool = True) -> int:
+        """Serve until a shutdown signal; returns the exit code.
+
+        Exit codes are shared across every server entry point: **2**
+        when the port cannot be bound (reported on stderr before
+        anything serves), **130** after SIGINT, **0** after SIGTERM or
+        a programmatic :meth:`stop` — the latter two drain first.
+        """
+        try:
+            asyncio.run(self._main(install_signals=install_signals))
+        except KeyboardInterrupt:
+            # platforms without add_signal_handler (or a second ^C
+            # during drain): still report the conventional code
+            self.exit_code = 130
+        return self.exit_code
+
+    def start(self) -> "tuple[str, int]":
+        """Serve on a daemon thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._run_background, name="repro-server",
+            daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._bind_error is not None:
+            raise self._bind_error
+        return self.host, self.port
+
+    def _run_background(self) -> None:
+        try:
+            asyncio.run(self._main(install_signals=False))
+        finally:
+            self._ready.set()
+
+    def stop(self) -> None:
+        """Request a graceful drain from any thread and wait for it."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._request_shutdown,
+                                          "stop", 0)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=15.0)
+
+    async def _main(self, install_signals: bool) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._shutdown = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-query")
+        try:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.config.host,
+                self.config.port)
+        except OSError as exc:
+            print(f"error: cannot listen on "
+                  f"{self.config.host}:{self.config.port}: {exc}",
+                  file=sys.stderr)
+            self.exit_code = 2
+            self._bind_error = exc
+            self._executor.shutdown(wait=False)
+            self._ready.set()
+            return
+        sockets = self._server.sockets or []
+        if sockets:
+            self.host, self.port = sockets[0].getsockname()[:2]
+        if install_signals:
+            for signum, code in ((signal.SIGINT, 130),
+                                 (signal.SIGTERM, 0)):
+                try:
+                    loop.add_signal_handler(
+                        signum, self._request_shutdown,
+                        signal.Signals(signum).name, code)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        self.out.write(
+            f"serving /query, /metrics, /traces, /slo, /planspace "
+            f"and /healthz on http://{self.host}:{self.port} "
+            f"(Ctrl-C to stop)\n")
+        try:
+            self.out.flush()
+        except (ValueError, OSError):
+            pass
+        self._ready.set()
+        await self._shutdown.wait()
+        await self._drain()
+
+    def _request_shutdown(self, cause: str, exit_code: int) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        self.exit_code = exit_code
+        inflight = self.admission.snapshot()["inflight"]
+        self.out.write(f"{cause}: draining ({inflight} in flight, "
+                       f"budget {self.config.drain_seconds:.1f}s)\n")
+        assert self._shutdown is not None
+        self._shutdown.set()
+
+    async def _drain(self) -> None:
+        """Stop accepting, finish in-flight work, flush the query log."""
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        # connection handlers observe the shutdown event: idle
+        # keep-alive connections close immediately, busy ones finish
+        # their current request within the drain budget
+        pending = [task for task in self._connections
+                   if not task.done()]
+        if pending:
+            await asyncio.wait(pending,
+                               timeout=self.config.drain_seconds)
+        for task in self._connections:
+            if not task.done():
+                task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        flushed = ""
+        log = getattr(self.database, "query_log", None)
+        if log is not None:
+            log.flush()
+            flushed = ", query log flushed"
+        self.out.write(f"drained: {self._served} requests "
+                       f"served{flushed}\n")
+        try:
+            self.out.flush()
+        except (ValueError, OSError):
+            pass
+
+    # -- connections ----------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            while True:
+                request = await self._next_request(reader)
+                if request is None:
+                    break
+                keep = await self._dispatch(request, writer)
+                if not keep or self._draining:
+                    break
+        except ProtocolError as exc:
+            try:
+                writer.write(json_response(
+                    exc.status, {"error": str(exc)},
+                    keep_alive=False))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _next_request(self, reader: asyncio.StreamReader
+                            ) -> HttpRequest | None:
+        """One request, or ``None`` on idle timeout / drain / EOF."""
+        assert self._shutdown is not None
+        if self._draining:
+            return None
+        read = asyncio.ensure_future(
+            read_request(reader, self.config.max_body_bytes))
+        drain = asyncio.ensure_future(self._shutdown.wait())
+        done, _ = await asyncio.wait(
+            {read, drain}, timeout=self.config.keep_alive_seconds,
+            return_when=asyncio.FIRST_COMPLETED)
+        if read in done:
+            drain.cancel()
+            return read.result()
+        # idle timeout or drain: abandon the (empty) read
+        read.cancel()
+        drain.cancel()
+        await asyncio.gather(read, drain, return_exceptions=True)
+        return None
+
+    async def _dispatch(self, request: HttpRequest,
+                        writer: asyncio.StreamWriter) -> bool:
+        route = request.path
+        keep = request.keep_alive and not self._draining
+        if route == "/query":
+            if request.method not in ("GET", "POST"):
+                return await self._respond(
+                    writer, route, 405,
+                    {"error": "use GET or POST"}, keep)
+            return await self._handle_query(request, writer, keep)
+        if request.method != "GET":
+            return await self._respond(writer, route, 405,
+                                       {"error": "use GET"}, keep)
+        body, content_type = self._observability_body(route)
+        if body is None:
+            return await self._respond(writer, route, 404,
+                                       {"error": f"no route {route}"},
+                                       keep)
+        payload = render_response(200, body, content_type=content_type,
+                                  keep_alive=keep)
+        writer.write(payload)
+        await writer.drain()
+        self._count_request(route, 200)
+        return keep
+
+    def _observability_body(self, route: str
+                            ) -> "tuple[bytes | None, str]":
+        import json as _json
+
+        service = self.service
+        if route in ("/", "/metrics"):
+            return (service.export_metrics("prometheus")
+                    .encode("utf-8"), "text/plain; version=0.0.4")
+        if route == "/traces":
+            return (_json.dumps({"traces": service.traces()}, indent=2,
+                                sort_keys=True).encode("utf-8"),
+                    "application/json")
+        if route == "/slo":
+            return (_json.dumps(service.slo.snapshot(), indent=2,
+                                sort_keys=True).encode("utf-8"),
+                    "application/json")
+        if route == "/planspace":
+            return (_json.dumps({"planspace": service.planspace()},
+                                indent=2,
+                                sort_keys=True).encode("utf-8"),
+                    "application/json")
+        if route == "/healthz":
+            admission = self.admission.snapshot()
+            return (_json.dumps({
+                "status": "draining" if self._draining else "ok",
+                "uptime_seconds": (time.monotonic()
+                                   - self._started_monotonic),
+                "statistics_epoch": self.database.statistics_epoch,
+                "queries": service.snapshot()["queries"],
+                "inflight": admission["inflight"],
+                "max_inflight": admission["max_inflight"],
+                "tenants": admission["tenants"],
+            }, indent=2, sort_keys=True).encode("utf-8"),
+                "application/json")
+        return None, ""
+
+    async def _respond(self, writer: asyncio.StreamWriter, route: str,
+                       status: int, payload: dict,
+                       keep: bool,
+                       extra_headers: "dict[str, str] | None" = None
+                       ) -> bool:
+        writer.write(json_response(status, payload,
+                                   extra_headers=extra_headers,
+                                   keep_alive=keep))
+        await writer.drain()
+        self._count_request(route, status)
+        return keep
+
+    # -- the query path -------------------------------------------------
+
+    def _parse_query_params(self, request: HttpRequest) -> _QueryParams:
+        params: dict[str, object] = dict(request.query)
+        params.update(request.json_body())
+
+        def text(name: str, default: str = "") -> str:
+            value = params.get(name, default)
+            return str(value) if value is not None else default
+
+        xpath = text("xpath") or text("query")
+        if not xpath:
+            raise ProtocolError(400, "missing required parameter "
+                                     "'xpath'")
+        engine = text("engine") or None
+        if engine is not None:
+            validate_engine(engine)  # PlanError -> 400
+        try:
+            limit = int(params.get("limit", 0) or 0)
+        except (TypeError, ValueError):
+            raise ProtocolError(400, "limit must be an integer")
+        if limit < 0:
+            raise ProtocolError(400, "limit must be >= 0")
+        deadline_ms = (params.get("timeout_ms")
+                       or request.headers.get("x-deadline-ms"))
+        deadline = self.config.deadline_seconds
+        if deadline_ms is not None:
+            try:
+                deadline = float(deadline_ms) / 1000.0
+            except (TypeError, ValueError):
+                raise ProtocolError(400, "timeout_ms must be a number")
+            if deadline <= 0:
+                raise ProtocolError(400, "timeout_ms must be > 0")
+        deadline = min(deadline, self.config.max_deadline_seconds)
+        tenant = (text("tenant")
+                  or request.headers.get("x-tenant", "")
+                  or "anonymous")
+        trace_id = request.headers.get("x-trace-id",
+                                       text("trace_id")).strip()
+        if len(trace_id) > 64:
+            raise ProtocolError(400, "trace id too long")
+        stream = text("stream").lower() in _TRUTHY
+        return _QueryParams(
+            xpath=xpath,
+            algorithm=text("algorithm") or self.config.algorithm,
+            engine=engine, stream=stream, limit=limit,
+            deadline=deadline, tenant=tenant, trace_id=trace_id)
+
+    async def _handle_query(self, request: HttpRequest,
+                            writer: asyncio.StreamWriter,
+                            keep: bool) -> bool:
+        params = self._parse_query_params(request)
+        rejection = self.admission.admit(params.tenant)
+        if rejection is not None:
+            return await self._reject(writer, rejection, keep)
+        started = time.perf_counter()
+        try:
+            return await self._execute_query(writer, params, keep,
+                                             started)
+        finally:
+            self.admission.release(time.perf_counter() - started)
+
+    async def _reject(self, writer: asyncio.StreamWriter,
+                      rejection: Rejection, keep: bool) -> bool:
+        self._http_rejections.inc(reason=rejection.reason)
+        # the header carries the RFC's integral seconds (rounded up,
+        # never zero); the body carries the exact figure for clients
+        # that can pace themselves more finely
+        headers = {"Retry-After":
+                   str(max(1, math.ceil(rejection.retry_after)))}
+        return await self._respond(
+            writer, "/query", 429,
+            {"error": "rejected", "reason": rejection.reason,
+             "tenant": rejection.tenant,
+             "retry_after_seconds": round(rejection.retry_after, 6)},
+            keep, extra_headers=headers)
+
+    async def _execute_query(self, writer: asyncio.StreamWriter,
+                             params: _QueryParams, keep: bool,
+                             started: float) -> bool:
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[tuple[str, object]]" = asyncio.Queue()
+        cancel = threading.Event()
+        trace_context = (TraceContext(trace_id=params.trace_id)
+                         if params.trace_id else None)
+
+        def emit(kind: str, payload: object) -> None:
+            try:
+                loop.call_soon_threadsafe(queue.put_nowait,
+                                          (kind, payload))
+            except RuntimeError:
+                pass  # loop closed mid-drain; nothing left to notify
+
+        def produce() -> None:
+            stream = None
+            try:
+                if cancel.is_set():
+                    raise QueryCancelled(
+                        "deadline expired before execution started")
+                pattern = self.database.compile(params.xpath)
+                optimization = self.service.optimize_cached(
+                    pattern, params.algorithm)
+                stream = self.database.stream_execute(
+                    optimization.plan, pattern, engine=params.engine,
+                    cancel=cancel.is_set,
+                    trace_context=trace_context)
+                emit("meta", stream)
+                for row in stream:
+                    emit("row", [region.start for region in row])
+                    if params.limit and stream.produced >= params.limit:
+                        stream.close()
+                        break
+                emit("done", stream)
+            except QueryCancelled:
+                emit("cancelled", stream)
+            except BaseException as exc:
+                emit("error", exc)
+
+        assert self._executor is not None
+        timer = loop.call_later(params.deadline, cancel.set)
+        future = loop.run_in_executor(self._executor, produce)
+        chunked = ChunkedWriter(writer) if params.stream else None
+        collected: "list[list[int]]" = []
+        stream = None
+        outcome = ""
+        error: BaseException | None = None
+        ttfr: "float | None" = None
+        truncated = False
+        client_gone = False
+        try:
+            while True:
+                try:
+                    kind, payload = await asyncio.wait_for(
+                        queue.get(), params.deadline + 10.0)
+                except asyncio.TimeoutError:
+                    # the producer never started (saturated pool) and
+                    # the deadline timer has long fired; give up on
+                    # this request but let produce() bail on its own
+                    outcome = "cancelled"
+                    break
+                if kind == "meta":
+                    stream = payload
+                    if chunked is not None and not client_gone:
+                        try:
+                            await self._start_stream(chunked, stream,
+                                                     params, keep)
+                        except (ConnectionError, OSError):
+                            client_gone = True
+                            cancel.set()
+                    continue
+                if kind == "row":
+                    if ttfr is None:
+                        ttfr = time.perf_counter() - started
+                    if chunked is not None and not client_gone:
+                        try:
+                            await chunked.send_json_line(
+                                {"b": payload})
+                        except (ConnectionError, OSError):
+                            client_gone = True
+                            cancel.set()
+                    else:
+                        collected.append(payload)
+                    continue
+                if kind == "done":
+                    stream = payload
+                    truncated = bool(params.limit
+                                     and stream.produced
+                                     >= params.limit)
+                    outcome = "done"
+                elif kind == "cancelled":
+                    stream = payload if payload is not None else stream
+                    outcome = "cancelled"
+                else:
+                    error = payload  # kind == "error"
+                    outcome = "error"
+                break
+        finally:
+            timer.cancel()
+            cancel.set()  # a consumer-side exit also stops the producer
+        await asyncio.shield(self._await_producer(future))
+        elapsed = time.perf_counter() - started
+        keep = keep and not client_gone
+        return await self._finish_query(writer, chunked, params, keep,
+                                        outcome, error, stream,
+                                        collected, elapsed, ttfr,
+                                        truncated, client_gone)
+
+    @staticmethod
+    async def _await_producer(future: "asyncio.Future[None]") -> None:
+        try:
+            await future
+        except Exception:
+            pass  # producer exceptions were shipped through the queue
+
+    async def _start_stream(self, chunked: ChunkedWriter, stream,
+                            params: _QueryParams, keep: bool) -> None:
+        headers = {}
+        if params.trace_id:
+            headers["X-Trace-Id"] = params.trace_id
+        await chunked.start(200, extra_headers=headers,
+                            keep_alive=keep)
+        await chunked.send_json_line({
+            "schema": list(stream.schema.node_ids),
+            "query": params.xpath,
+            "algorithm": params.algorithm,
+            "trace_id": params.trace_id,
+        })
+
+    async def _finish_query(self, writer: asyncio.StreamWriter,
+                            chunked: "ChunkedWriter | None",
+                            params: _QueryParams, keep: bool,
+                            outcome: str,
+                            error: "BaseException | None", stream,
+                            collected: "list[list[int]]",
+                            elapsed: float, ttfr: "float | None",
+                            truncated: bool,
+                            client_gone: bool) -> bool:
+        """Send the terminal response/line and observe the request."""
+        cancelled = outcome == "cancelled"
+        produced = stream.produced if stream is not None else 0
+        trace_id = params.trace_id
+        if (stream is not None and getattr(stream, "span", None)
+                is not None):
+            trace_id = stream.span.trace_id or trace_id
+        if cancelled:
+            self._http_cancelled.inc()
+        if outcome == "error":
+            assert error is not None
+            status = (400 if isinstance(error, BAD_REQUEST_ERRORS)
+                      else 500)
+            self.service.observe_served_query(
+                elapsed, time_to_first=ttfr, error=True,
+                trace_id=trace_id)
+            if chunked is not None and chunked.started:
+                # the stream is already under way: report in-band,
+                # the chunked encoding stays well-formed
+                await self._terminal_line(chunked, {
+                    "done": True, "error": str(error),
+                    "rows": produced, "seconds": round(elapsed, 6)})
+                self._count_request("/query", status)
+                return keep
+            return await self._respond(
+                writer, "/query", status,
+                {"error": str(error),
+                 "kind": type(error).__name__}, keep)
+        self.service.observe_served_query(
+            elapsed, time_to_first=ttfr, error=cancelled,
+            trace_id=trace_id,
+            metrics=(stream.metrics
+                     if outcome == "done" and stream is not None
+                     else None),
+            rows=produced, query=params.xpath,
+            algorithm=params.algorithm,
+            engine=params.engine or "")
+        summary = {
+            "done": True,
+            "cancelled": cancelled,
+            "rows": produced,
+            "truncated": truncated,
+            "seconds": round(elapsed, 6),
+            "time_to_first_seconds": (round(ttfr, 6)
+                                      if ttfr is not None else None),
+            "trace_id": trace_id,
+        }
+        if cancelled:
+            summary["error"] = "deadline exceeded"
+        status = 504 if cancelled else 200
+        if chunked is not None:
+            if client_gone:
+                return False
+            if not chunked.started:
+                # cancelled (or empty-and-cancelled) before the first
+                # row: a clean status response is still possible
+                return await self._respond(writer, "/query", status,
+                                           summary, keep)
+            await self._terminal_line(chunked, summary)
+            self._count_request("/query", status)
+            return keep
+        if not cancelled:
+            summary["query"] = params.xpath
+            summary["algorithm"] = params.algorithm
+            summary["schema"] = (list(stream.schema.node_ids)
+                                 if stream is not None else [])
+            summary["bindings"] = collected
+        headers = {"X-Trace-Id": trace_id} if trace_id else None
+        return await self._respond(writer, "/query", status, summary,
+                                   keep, extra_headers=headers)
+
+    async def _terminal_line(self, chunked: ChunkedWriter,
+                             payload: dict) -> None:
+        try:
+            await chunked.send_json_line(payload)
+            await chunked.finish()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,154 @@
+"""Minimal asyncio HTTP client for the tests and the load harness.
+
+Speaks exactly the dialect :mod:`repro.server.http` serves: HTTP/1.1
+with keep-alive, fixed-length bodies and chunked transfer decoding.
+``HttpClient`` holds one reusable connection; :func:`fetch` is the
+one-shot convenience.  The streamed read path yields decoded chunks
+as they arrive, which is how the harness timestamps first results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator
+
+__all__ = ["ClientResponse", "HttpClient", "fetch"]
+
+
+@dataclass
+class ClientResponse:
+    status: int
+    reason: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+
+class HttpClient:
+    """One keep-alive connection to the query server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def _send(self, method: str, path: str,
+                    headers: dict[str, str] | None,
+                    body: bytes) -> None:
+        await self._connect()
+        assert self._writer is not None
+        lines = [f"{method} {path} HTTP/1.1",
+                 f"Host: {self.host}:{self.port}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if body:
+            lines.append(f"Content-Length: {len(body)}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+
+    async def _read_head(self) -> ClientResponse:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").strip().split(None, 2)
+        status = int(parts[1])
+        reason = parts[2] if len(parts) > 2 else ""
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return ClientResponse(status=status, reason=reason,
+                              headers=headers)
+
+    async def request(self, method: str, path: str,
+                      headers: dict[str, str] | None = None,
+                      body: bytes = b"",
+                      timeout: float = 30.0) -> ClientResponse:
+        """Send one request and read the complete response body."""
+        async def run() -> ClientResponse:
+            await self._send(method, path, headers, body)
+            response = await self._read_head()
+            chunks = []
+            async for chunk in self._read_body(response):
+                chunks.append(chunk)
+            response.body = b"".join(chunks)
+            return response
+
+        return await asyncio.wait_for(run(), timeout)
+
+    async def stream(self, method: str, path: str,
+                     headers: dict[str, str] | None = None,
+                     body: bytes = b"",
+                     timeout: float = 30.0
+                     ) -> "tuple[ClientResponse, AsyncIterator[bytes]]":
+        """Send one request; the response body arrives incrementally.
+
+        Returns the head (status + headers) and an async iterator of
+        body chunks — for chunked responses, one element per chunk as
+        the server flushed it.  *timeout* bounds the head read only;
+        the caller owns pacing of the body.
+        """
+        await asyncio.wait_for(
+            self._send(method, path, headers, body), timeout)
+        response = await asyncio.wait_for(self._read_head(), timeout)
+        return response, self._read_body(response)
+
+    async def _read_body(self, response: ClientResponse
+                         ) -> AsyncIterator[bytes]:
+        assert self._reader is not None
+        encoding = response.headers.get("transfer-encoding", "")
+        if "chunked" in encoding.lower():
+            while True:
+                size_line = await self._reader.readline()
+                size = int(size_line.strip() or b"0", 16)
+                if size == 0:
+                    await self._reader.readline()  # trailing CRLF
+                    return
+                chunk = await self._reader.readexactly(size)
+                await self._reader.readexactly(2)  # CRLF
+                yield chunk
+            return
+        length = int(response.headers.get("content-length", "0"))
+        if length:
+            yield await self._reader.readexactly(length)
+
+
+async def fetch(host: str, port: int, method: str, path: str,
+                headers: dict[str, str] | None = None,
+                body: bytes = b"",
+                timeout: float = 30.0) -> ClientResponse:
+    """One-shot request on a fresh connection."""
+    client = HttpClient(host, port)
+    try:
+        return await client.request(method, path, headers=headers,
+                                    body=body, timeout=timeout)
+    finally:
+        await client.close()

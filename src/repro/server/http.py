@@ -1,0 +1,208 @@
+"""Minimal HTTP/1.1 over asyncio streams — just what serving needs.
+
+Hand-rolled on purpose: the stdlib's ``http.server`` is thread-per-
+connection and cannot interleave a chunked response with a deadline
+timer, and this repo takes no third-party dependencies.  Supported
+surface: request line + headers + ``Content-Length`` bodies, query
+strings, keep-alive, fixed-length responses and chunked transfer
+encoding for streams.  Anything else (request trailers, upgrades,
+``Transfer-Encoding`` on requests) is rejected with a clear status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["HttpRequest", "ProtocolError", "read_request",
+           "render_response", "json_response", "ChunkedWriter",
+           "REASONS"]
+
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+MAX_HEADER_COUNT = 100
+MAX_LINE_BYTES = 8190
+
+
+class ProtocolError(Exception):
+    """Malformed or unsupported HTTP from the peer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request; header names are lower-cased."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in connection
+        return "close" not in connection
+
+    def json_body(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(400, f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "JSON body must be an object")
+        return payload
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError(400, "header line too long")
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(400, "header line too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = 1 << 20) -> HttpRequest | None:
+    """Parse one request; ``None`` on a clean EOF between requests."""
+    line = await _read_line(reader)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(400, f"unsupported version {version}")
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ProtocolError(400, "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise ProtocolError(501, "request transfer-encoding "
+                                 "is not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, "bad content-length")
+        if length < 0:
+            raise ProtocolError(400, "bad content-length")
+        if length > max_body:
+            raise ProtocolError(413, f"body exceeds {max_body} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError(400, "truncated request body")
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return HttpRequest(method=method.upper(), path=unquote(split.path),
+                       query=query, headers=headers, body=body,
+                       version=version)
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    extra_headers: dict[str, str] | None = None,
+                    keep_alive: bool = True) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload: object,
+                  extra_headers: dict[str, str] | None = None,
+                  keep_alive: bool = True) -> bytes:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return render_response(status, body.encode("utf-8"),
+                           extra_headers=extra_headers,
+                           keep_alive=keep_alive)
+
+
+class ChunkedWriter:
+    """A chunked-transfer response; one per streamed request.
+
+    ``start`` writes the header block, ``send`` one chunk per call,
+    ``finish`` the terminating zero chunk.  The server checks
+    :attr:`started` to decide whether an error can still become a
+    clean status response or must abort mid-stream.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self.started = False
+        self.finished = False
+
+    async def start(self, status: int = 200,
+                    content_type: str = "application/x-ndjson",
+                    extra_headers: dict[str, str] | None = None,
+                    keep_alive: bool = True) -> None:
+        reason = REASONS.get(status, "Unknown")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 f"Content-Type: {content_type}",
+                 "Transfer-Encoding: chunked",
+                 f"Connection: "
+                 f"{'keep-alive' if keep_alive else 'close'}"]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        self._writer.write(head.encode("latin-1"))
+        await self._writer.drain()
+        self.started = True
+
+    async def send(self, data: bytes) -> None:
+        if not data:
+            return
+        self._writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        await self._writer.drain()
+
+    async def send_json_line(self, payload: object) -> None:
+        await self.send((json.dumps(payload, sort_keys=True) + "\n")
+                        .encode("utf-8"))
+
+    async def finish(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()

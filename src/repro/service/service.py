@@ -123,6 +123,9 @@ class QueryService:
             "Queries slower than the slow-query threshold")
         self._latency_hist = self.registry.histogram(
             "repro_query_seconds", "End-to-end query latency")
+        self._ttfr_hist = self.registry.histogram(
+            "repro_time_to_first_seconds",
+            "Time to the first streamed result row (serving path)")
         self._queue_wait_hist = self.registry.histogram(
             "repro_queue_wait_seconds",
             "Time between batch submission and execution start")
@@ -241,6 +244,59 @@ class QueryService:
                 })
         return QueryResult(optimization=optimization,
                            execution=execution)
+
+    def observe_served_query(self, seconds: float, *,
+                             time_to_first: "float | None" = None,
+                             error: bool = False,
+                             trace_id: str = "",
+                             metrics: "ExecutionMetrics | None" = None,
+                             rows: int = 0,
+                             query: str = "",
+                             algorithm: str = "",
+                             engine: str = "") -> None:
+        """Fold one externally-executed query into the service totals.
+
+        The network front-end streams executions itself —
+        :meth:`query` cannot, it materializes a ``QueryResult`` — and
+        reports each finished request here so ``/metrics`` and
+        ``/slo`` stay one coherent surface regardless of how the query
+        entered the process.  *time_to_first* feeds both the
+        ``repro_time_to_first_seconds`` histogram and the TTFR SLO;
+        *error* covers failures **and deadline cancellations** (a
+        cancelled request burned its latency budget without an
+        answer, so the error budget pays).  *metrics* merges engine
+        counters from completed streams into the aggregate totals.
+        """
+        if time_to_first is not None:
+            self._ttfr_hist.observe(time_to_first)
+        if error:
+            with self._mutex:
+                self._errors += 1
+            self._errors_total.inc()
+            self.slo.observe_query(seconds, time_to_first=time_to_first,
+                                   error=True, trace_id=trace_id)
+            return
+        self.slo.observe_query(seconds, time_to_first=time_to_first,
+                               trace_id=trace_id)
+        self._queries_total.inc()
+        self._latency_hist.observe(seconds)
+        slow = seconds >= self.slow_query_seconds
+        if slow:
+            self._slow_total.inc()
+        with self._mutex:
+            self._queries += 1
+            self._latencies.add(seconds)
+            if metrics is not None:
+                self._engine_totals.merge(metrics)
+            if slow:
+                self._slow_queries.append({
+                    "query": query,
+                    "algorithm": algorithm,
+                    "engine": engine or self.database.engine,
+                    "seconds": seconds,
+                    "rows": rows,
+                    "trace_id": trace_id,
+                })
 
     def _want_trace(self) -> bool:
         """True when this query is the n-th of a 1-in-n trace sample."""

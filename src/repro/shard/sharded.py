@@ -20,11 +20,13 @@ diagnostics here, not an engine-parity surface).
 
 from __future__ import annotations
 
+import heapq
 import shutil
 import tempfile
 import threading
 import time
 from pathlib import Path
+from typing import Callable
 
 from repro.errors import ShardError
 from repro.api import Database, QueryResult
@@ -34,7 +36,10 @@ from repro.core.pattern import QueryPattern
 from repro.core.plans import PhysicalPlan
 from repro.document.document import XmlDocument
 from repro.document.node import Region
-from repro.engine.executor import ExecutionResult, validate_engine
+from repro.engine.executor import (ExecutionResult, FirstResultTiming,
+                                   StreamingExecution,
+                                   measure_time_to_first,
+                                   validate_engine)
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.tuples import Schema
 from repro.estimation.estimator import (CardinalityEstimator,
@@ -263,16 +268,8 @@ class ShardedDatabase:
         if spans:
             trace = trace_context or TraceContext.new()
         started = time.perf_counter()
-        payloads = self.workers.scatter_gather(
-            plan, pattern, engine, want_span=spans,
-            trace_context=trace.to_dict() if trace is not None
-            else None)
-        node_ids = payloads[0]["node_ids"]
-        for payload in payloads[1:]:
-            if payload["node_ids"] != node_ids:
-                raise ShardError(
-                    f"shards disagree on the output schema: "
-                    f"{node_ids} vs {payload['node_ids']}")
+        payloads, node_ids, metrics = self._gather(plan, pattern,
+                                                   engine, trace)
         # workers ship merge keys (start-label tuples); rebuild region
         # rows from the coordinator's own copy of the document
         merge_started = time.perf_counter()
@@ -281,6 +278,36 @@ class ShardedDatabase:
                   for key in merge_sorted_runs(
                       [payload["rows"] for payload in payloads])]
         merge_seconds = time.perf_counter() - merge_started
+        metrics.wall_seconds = time.perf_counter() - started
+        span: Span | None = None
+        if spans:
+            assert trace is not None
+            span = self._stitch_trace(trace, payloads, metrics,
+                                      len(tuples), merge_seconds)
+            self.tracer.record(span)
+        return ExecutionResult(tuples=tuples, schema=Schema(node_ids),
+                               metrics=metrics, span=span)
+
+    def _gather(self, plan: PhysicalPlan, pattern: QueryPattern,
+                engine: str, trace: TraceContext | None
+                ) -> "tuple[list[dict], list[int], ExecutionMetrics]":
+        """Scatter *plan*, gather payloads, sum counters, book totals.
+
+        Shared by :meth:`execute` and :meth:`stream_execute`; the
+        returned metrics carry the summed per-shard counters but no
+        ``wall_seconds`` — the caller owns end-to-end timing (the
+        streamed path keeps the clock running through the merge).
+        """
+        payloads = self.workers.scatter_gather(
+            plan, pattern, engine, want_span=trace is not None,
+            trace_context=trace.to_dict() if trace is not None
+            else None)
+        node_ids = payloads[0]["node_ids"]
+        for payload in payloads[1:]:
+            if payload["node_ids"] != node_ids:
+                raise ShardError(
+                    f"shards disagree on the output schema: "
+                    f"{node_ids} vs {payload['node_ids']}")
         metrics = ExecutionMetrics(factors=self.cost_factors)
         for payload in payloads:
             for name, value in payload["counters"].items():
@@ -288,7 +315,6 @@ class ShardedDatabase:
             metrics.page_reads += payload["page_reads"]
             metrics.buffer_hits += payload["buffer_hits"]
             metrics.buffer_misses += payload["buffer_misses"]
-        metrics.wall_seconds = time.perf_counter() - started
         with self._totals_mutex:
             for payload in payloads:
                 totals = self._shard_totals[payload["shard_id"]]
@@ -303,14 +329,79 @@ class ShardedDatabase:
                  "cpu_seconds": payload.get("cpu_seconds", 0.0),
                  "rows": len(payload["rows"])}
                 for payload in payloads]
-        span: Span | None = None
-        if spans:
-            assert trace is not None
-            span = self._stitch_trace(trace, payloads, metrics,
-                                      len(tuples), merge_seconds)
-            self.tracer.record(span)
-        return ExecutionResult(tuples=tuples, schema=Schema(node_ids),
-                               metrics=metrics, span=span)
+        return payloads, node_ids, metrics
+
+    def stream_execute(self, plan: PhysicalPlan, pattern: QueryPattern,
+                       engine: str | None = None,
+                       cancel: "Callable[[], bool] | None" = None,
+                       spans: bool = False,
+                       trace_context: TraceContext | None = None,
+                       ) -> StreamingExecution:
+        """Scatter-gather, then stream rows out of the k-way merge.
+
+        Shards execute their plans to completion before shipping rows
+        (the pipe protocol is one payload per shard), so what streams
+        is the coordinator-side merge: the first row leaves as soon as
+        every shard has answered and the heads of the sorted runs have
+        been compared — not after the whole merge has materialized.
+        That is exactly the latency :meth:`time_to_first` reports as
+        "honest" TTFR under scatter-gather.  *cancel* is checked per
+        merged row; traced streams stitch and record their distributed
+        trace when the stream finishes.
+        """
+        self._require_open()
+        engine = validate_engine(engine or self.engine)
+        trace: TraceContext | None = None
+        if spans or trace_context is not None:
+            trace = trace_context or TraceContext.new()
+        started = time.perf_counter()
+        payloads, node_ids, metrics = self._gather(plan, pattern,
+                                                   engine, trace)
+        merge_started = time.perf_counter()
+
+        def merged_rows():
+            # the lazy twin of merge_sorted_runs: same adjacent-dedup
+            # contract, but rows leave as the heads compare instead of
+            # after the whole merge materializes
+            regions = self._regions_by_start()
+            previous = None
+            for key in heapq.merge(
+                    *[payload["rows"] for payload in payloads]):
+                if key == previous:
+                    continue
+                previous = key
+                yield tuple(regions[start] for start in key)
+
+        def finish(stream: StreamingExecution) -> None:
+            metrics.wall_seconds = stream.total_seconds
+            if trace is not None:
+                span = self._stitch_trace(
+                    trace, payloads, metrics, stream.produced,
+                    time.perf_counter() - merge_started)
+                stream.span = span
+                self.tracer.record(span)
+
+        return StreamingExecution(Schema(node_ids), metrics,
+                                  merged_rows(), cancel=cancel,
+                                  started=started, on_finish=finish)
+
+    def time_to_first(self, query: "str | QueryPattern",
+                      algorithm: str = "FP", results: int = 1,
+                      **options: object) -> FirstResultTiming:
+        """Optimize, then measure latency to the first *results* rows.
+
+        Matches :meth:`repro.api.Database.time_to_first` but stays
+        honest under scatter-gather: the clock starts before the
+        scatter, and ``first_seconds`` is when the *results*-th row
+        left the k-way merge — shard execution and gather are on the
+        bill, and a fast first shard cannot mask a straggler because
+        the merge needs every run's head before it can emit.
+        """
+        pattern = self.compile(query)
+        optimization = self.optimize(pattern, algorithm=algorithm,
+                                     **options)
+        stream = self.stream_execute(optimization.plan, pattern)
+        return measure_time_to_first(stream, results=results)
 
     def _stitch_trace(self, trace: TraceContext, payloads: list[dict],
                       metrics: ExecutionMetrics, merged_rows: int,

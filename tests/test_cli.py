@@ -242,54 +242,37 @@ class TestMetricsListener:
 
     def test_listen_serves_metrics_and_shuts_down_cleanly(self):
         import io as iolib
-        import threading
         import urllib.error
         import urllib.request
-        from http.server import ThreadingHTTPServer
 
-        from repro.cli import _open_database, _run_metrics_server, \
-            build_parser
+        from repro.cli import _open_database, build_parser
+        from repro.server import QueryServer, ServerConfig
 
         arguments = build_parser().parse_args(
             ["stats", "--dataset", "pers", "--nodes", "400"])
         database = _open_database(arguments)
         database.query_many(["//manager/name"])
 
-        # intercept serve_forever to capture the bound server so the
-        # test can stop it the same way Ctrl-C would
-        ready = threading.Event()
-        captured = {}
-        original = ThreadingHTTPServer.serve_forever
-
-        def capturing(self, poll_interval=0.5):
-            captured["server"] = self
-            ready.set()
-            original(self, poll_interval=poll_interval)
-
+        # stats --listen is an alias for the query server; drive the
+        # same object it constructs, on its background-thread API
         out = iolib.StringIO()
-        ThreadingHTTPServer.serve_forever = capturing
+        server = QueryServer(database, ServerConfig(port=0), out=out)
+        host, port = server.start()
         try:
-            worker = threading.Thread(
-                target=_run_metrics_server,
-                args=(database, 0, out), daemon=True)
-            worker.start()
-            assert ready.wait(timeout=5.0)
-            port = captured["server"].server_address[1]
             with urllib.request.urlopen(
-                    f"http://127.0.0.1:{port}/metrics",
+                    f"http://{host}:{port}/metrics",
                     timeout=5.0) as response:
                 body = response.read().decode()
             assert "repro_queries_total" in body
             with pytest.raises(urllib.error.HTTPError):
                 urllib.request.urlopen(
-                    f"http://127.0.0.1:{port}/nope", timeout=5.0)
+                    f"http://{host}:{port}/nope", timeout=5.0)
         finally:
-            ThreadingHTTPServer.serve_forever = original
-            if "server" in captured:
-                captured["server"].shutdown()
-        worker.join(timeout=5.0)
-        assert not worker.is_alive()
-        assert "serving /metrics" in out.getvalue()
+            server.stop()
+        assert server.exit_code == 0
+        text = out.getvalue()
+        assert "serving /query, /metrics" in text
+        assert "drained:" in text
 
 
 class TestIngestCommands:

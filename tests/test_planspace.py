@@ -378,12 +378,10 @@ class TestPlanCostBreakdown:
 class TestHealthzEndpoint:
     def test_healthz_and_planspace_routes(self):
         import json as jsonlib
-        import threading
         import urllib.request
-        from http.server import ThreadingHTTPServer
 
-        from repro.cli import (_open_database, _run_metrics_server,
-                               build_parser)
+        from repro.cli import _open_database, build_parser
+        from repro.server import QueryServer, ServerConfig
 
         arguments = build_parser().parse_args(
             ["stats", "--dataset", "pers", "--nodes", "400",
@@ -392,44 +390,28 @@ class TestHealthzEndpoint:
         database.service_options.update({"planspace_sample": 1})
         database.query_many(["//manager/name"])
 
-        ready = threading.Event()
-        captured = {}
-        original = ThreadingHTTPServer.serve_forever
-
-        def capturing(self, poll_interval=0.5):
-            captured["server"] = self
-            ready.set()
-            original(self, poll_interval=poll_interval)
-
         out = io.StringIO()
-        ThreadingHTTPServer.serve_forever = capturing
+        server = QueryServer(database, ServerConfig(port=0), out=out)
+        host, port = server.start()
         try:
-            worker = threading.Thread(
-                target=_run_metrics_server,
-                args=(database, 0, out), daemon=True)
-            worker.start()
-            assert ready.wait(timeout=5.0)
-            port = captured["server"].server_address[1]
             with urllib.request.urlopen(
-                    f"http://127.0.0.1:{port}/healthz",
+                    f"http://{host}:{port}/healthz",
                     timeout=5.0) as response:
                 assert response.status == 200
                 health = jsonlib.loads(response.read())
             assert health["status"] == "ok"
             assert health["uptime_seconds"] >= 0.0
             assert "statistics_epoch" in health
+            assert health["inflight"] == 0
             with urllib.request.urlopen(
-                    f"http://127.0.0.1:{port}/planspace",
+                    f"http://{host}:{port}/planspace",
                     timeout=5.0) as response:
                 payload = jsonlib.loads(response.read())
             assert payload["planspace"]
             assert payload["planspace"][0]["winner"]["digest"]
         finally:
-            ThreadingHTTPServer.serve_forever = original
-            if "server" in captured:
-                captured["server"].shutdown()
-        worker.join(timeout=5.0)
-        assert not worker.is_alive()
+            server.stop()
+        assert server.exit_code == 0
 
 
 class TestCLISurface:

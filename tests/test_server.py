@@ -1,0 +1,529 @@
+"""Tests for the asyncio HTTP query server (PR 10).
+
+Covers the admission arithmetic with an injected clock, the streamed
+first-result path over real sockets, tenant throttling with honest
+``Retry-After``, queue-depth backpressure, deadline cancellation
+releasing its worker slot, the consolidated observability routes,
+trace-id propagation, and the shared shutdown path (SIGTERM drain in
+a subprocess).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import Database
+from repro.server import (AdmissionController, QueryServer,
+                          ServerConfig, TokenBucket, fetch)
+from repro.server.client import HttpClient
+from repro.workloads import personnel_document
+
+
+# ---------------------------------------------------------------------------
+# admission control: pure arithmetic, injected clock
+
+
+class TestTokenBucket:
+    def test_burst_then_exact_refill_wait(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=100.0)
+        assert bucket.try_take(100.0) == 0.0
+        # drained: the next token exists in 1/rate = 0.5 seconds
+        assert bucket.try_take(100.0) == pytest.approx(0.5)
+        # half a token accrued after 0.25s -> 0.25s more to wait
+        assert bucket.try_take(100.25) == pytest.approx(0.25)
+        # after the full refill interval the take succeeds
+        assert bucket.try_take(100.75) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0, now=0.0)
+        for _ in range(3):
+            assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) > 0.0
+        # an hour later the bucket holds burst tokens, not 36000
+        for _ in range(3):
+            assert bucket.try_take(3600.0) == 0.0
+        assert bucket.try_take(3600.0) > 0.0
+
+
+class TestAdmissionController:
+    def make(self, **kwargs):
+        clock = {"now": 0.0}
+        controller = AdmissionController(
+            clock=lambda: clock["now"], **kwargs)
+        return controller, clock
+
+    def test_tenant_quota_rejects_with_exact_retry(self):
+        controller, _ = self.make(max_inflight=10, tenant_rate=2.0,
+                                  tenant_burst=1.0)
+        assert controller.admit("a") is None
+        rejection = controller.admit("a")
+        assert rejection is not None
+        assert rejection.reason == "tenant_quota"
+        assert rejection.retry_after == pytest.approx(0.5)
+        assert rejection.tenant == "a"
+        # tenants are isolated: b still has its burst
+        assert controller.admit("b") is None
+
+    def test_quota_recovers_as_the_clock_advances(self):
+        controller, clock = self.make(max_inflight=10, tenant_rate=2.0,
+                                      tenant_burst=1.0)
+        assert controller.admit("a") is None
+        assert controller.admit("a").reason == "tenant_quota"
+        clock["now"] = 0.5
+        assert controller.admit("a") is None
+
+    def test_saturation_gate_and_release(self):
+        controller, _ = self.make(max_inflight=2)
+        assert controller.admit("a") is None
+        assert controller.admit("b") is None
+        rejection = controller.admit("c")
+        assert rejection.reason == "saturated"
+        assert rejection.retry_after == pytest.approx(0.5)  # default
+        controller.release(seconds=2.0)
+        assert controller.admit("c") is None
+        # the retry hint now follows the observed service time
+        rejection = controller.admit("d")
+        assert rejection.reason == "saturated"
+        assert rejection.retry_after == pytest.approx(2.0)
+
+    def test_release_never_goes_negative(self):
+        controller, _ = self.make(max_inflight=1)
+        controller.release()
+        controller.release()
+        assert controller.inflight == 0
+        assert controller.admit("a") is None
+        assert controller.admit("b").reason == "saturated"
+
+    def test_snapshot_counts(self):
+        controller, _ = self.make(max_inflight=3, tenant_rate=100.0,
+                                  tenant_burst=10.0)
+        controller.admit("a")
+        controller.admit("b")
+        controller.release(seconds=0.1)
+        snapshot = controller.snapshot()
+        assert snapshot["inflight"] == 1
+        assert snapshot["max_inflight"] == 3
+        assert snapshot["tenants"] == 2
+        assert snapshot["completed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# the served query path over real sockets
+
+
+@pytest.fixture(scope="module")
+def server():
+    database = Database.from_document(
+        personnel_document(target_nodes=2000, seed=42))
+    instance = QueryServer(database, ServerConfig(
+        port=0, workers=2, queue_depth=2,
+        tenant_rate=0.0,  # quota tests build their own controller
+        keep_alive_seconds=30.0), out=io.StringIO())
+    host, port = instance.start()
+    yield instance, host, port
+    instance.stop()
+    assert instance.exit_code == 0
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestQueryEndpoint:
+    def test_plain_query_returns_bindings(self, server):
+        _, host, port = server
+        response = run(fetch(host, port, "GET",
+                             "/query?xpath=//employee//name"))
+        assert response.status == 200
+        payload = response.json()
+        assert payload["done"] is True
+        assert payload["rows"] > 0
+        assert payload["rows"] == len(payload["bindings"])
+        assert payload["schema"]
+        assert payload["time_to_first_seconds"] is not None
+        assert payload["time_to_first_seconds"] <= payload["seconds"]
+
+    def test_post_body_overrides_query_string(self, server):
+        _, host, port = server
+        body = json.dumps({"xpath": "//employee", "limit": 3}).encode()
+        response = run(fetch(host, port, "POST", "/query?limit=999",
+                             body=body))
+        assert response.status == 200
+        payload = response.json()
+        assert payload["rows"] == 3
+        assert payload["truncated"] is True
+
+    def test_streamed_first_result_before_completion(self, server):
+        """The tentpole acceptance: over HTTP, the first FP row is on
+        the wire before the query finishes."""
+        _, host, port = server
+
+        async def drive():
+            client = HttpClient(host, port)
+            try:
+                head, body = await client.stream(
+                    "GET", "/query?xpath=//employee//name&stream=1")
+                assert head.status == 200
+                assert "chunked" in head.headers["transfer-encoding"]
+                buffer = b""
+                async for chunk in body:
+                    buffer += chunk
+                return buffer
+            finally:
+                await client.close()
+
+        buffer = run(drive())
+        lines = [json.loads(line)
+                 for line in buffer.decode().splitlines() if line]
+        assert lines[0]["schema"], "header line first"
+        assert all("b" in line for line in lines[1:-1])
+        summary = lines[-1]
+        assert summary["done"] is True
+        assert summary["cancelled"] is False
+        assert summary["rows"] == len(lines) - 2
+        assert summary["time_to_first_seconds"] is not None
+        assert summary["time_to_first_seconds"] < summary["seconds"]
+
+    def test_keep_alive_connection_reuse(self, server):
+        _, host, port = server
+
+        async def drive():
+            client = HttpClient(host, port)
+            try:
+                first = await client.request(
+                    "GET", "/query?xpath=//employee&limit=1")
+                second = await client.request(
+                    "GET", "/query?xpath=//manager&limit=1")
+                return first, second
+            finally:
+                await client.close()
+
+        first, second = run(drive())
+        assert first.status == 200 and second.status == 200
+
+    def test_bad_xpath_is_client_error(self, server):
+        _, host, port = server
+        response = run(fetch(host, port, "GET", "/query?xpath=///(("))
+        assert response.status == 400
+        assert "kind" in response.json()
+
+    def test_missing_xpath_is_client_error(self, server):
+        _, host, port = server
+        response = run(fetch(host, port, "GET", "/query"))
+        assert response.status == 400
+
+    def test_unknown_route_is_404_and_method_checked(self, server):
+        _, host, port = server
+        assert run(fetch(host, port, "GET", "/nope")).status == 404
+        assert run(fetch(host, port, "POST", "/metrics")).status == 405
+        assert run(fetch(host, port, "PUT",
+                         "/query?xpath=//a")).status == 405
+
+    def test_trace_id_propagates_to_traces_route(self, server):
+        _, host, port = server
+        response = run(fetch(
+            host, port, "GET", "/query?xpath=//employee//name",
+            headers={"X-Trace-Id": "req-abc123"}))
+        assert response.status == 200
+        assert response.headers.get("x-trace-id") == "req-abc123"
+        traces = run(fetch(host, port, "GET", "/traces")).json()
+        ids = [trace["trace_id"] for trace in traces["traces"]]
+        assert "req-abc123" in ids
+
+    def test_observability_routes_share_the_socket(self, server):
+        instance, host, port = server
+        for route in ("/metrics", "/traces", "/slo", "/planspace",
+                      "/healthz"):
+            assert run(fetch(host, port, "GET", route)).status == 200
+        metrics = run(fetch(host, port, "GET", "/metrics")).text()
+        assert "repro_http_requests_total" in metrics
+        assert "repro_http_inflight" in metrics
+        assert "repro_time_to_first_seconds" in metrics
+        assert "repro_slo_error_budget_burn" in metrics
+        health = run(fetch(host, port, "GET", "/healthz")).json()
+        assert health["status"] == "ok"
+        assert health["max_inflight"] == instance.config.max_inflight
+
+
+class TestAdmissionOverHttp:
+    def test_tenant_quota_throttles_with_retry_after(self):
+        database = Database.from_document(
+            personnel_document(target_nodes=600, seed=42))
+        instance = QueryServer(database, ServerConfig(
+            port=0, workers=2, queue_depth=2,
+            tenant_rate=0.5, tenant_burst=2.0), out=io.StringIO())
+        host, port = instance.start()
+        try:
+            async def drive():
+                statuses, throttle = [], None
+                for _ in range(3):
+                    response = await fetch(
+                        host, port, "GET",
+                        "/query?xpath=//employee&tenant=noisy")
+                    statuses.append(response.status)
+                    if response.status == 429:
+                        throttle = response
+                # the throttled tenant does not starve the others
+                other = await fetch(
+                    host, port, "GET",
+                    "/query?xpath=//employee&tenant=quiet")
+                return statuses, throttle, other
+
+            statuses, throttle, other = run(drive())
+            assert statuses[:2] == [200, 200]
+            assert statuses[2] == 429
+            payload = throttle.json()
+            assert payload["reason"] == "tenant_quota"
+            assert payload["tenant"] == "noisy"
+            # header: RFC integral seconds, rounded up, never zero;
+            # body: the exact wait (2 tokens burnt, 0.5/s refill)
+            assert int(throttle.headers["retry-after"]) >= 1
+            assert 0.0 < payload["retry_after_seconds"] <= 2.0
+            assert other.status == 200
+        finally:
+            instance.stop()
+
+    def test_queue_depth_backpressure_saturates(self, server):
+        """Fill every admission slot; the next request is shed with
+        429/saturated and a slot release lets traffic through again."""
+        instance, host, port = server
+        taken = 0
+        while instance.admission.admit(f"probe{taken}") is None:
+            taken += 1
+        assert taken == instance.config.max_inflight
+        try:
+            response = run(fetch(host, port, "GET",
+                                 "/query?xpath=//employee"))
+            assert response.status == 429
+            payload = response.json()
+            assert payload["reason"] == "saturated"
+            assert int(response.headers["retry-after"]) >= 1
+            # observability is never shed
+            health = run(fetch(host, port, "GET", "/healthz")).json()
+            assert health["inflight"] == taken
+        finally:
+            for _ in range(taken):
+                instance.admission.release()
+        response = run(fetch(host, port, "GET",
+                             "/query?xpath=//employee&limit=1"))
+        assert response.status == 200
+
+    def test_concurrent_overload_sheds_but_serves_some(self):
+        database = Database.from_document(
+            personnel_document(target_nodes=2000, seed=42))
+        instance = QueryServer(database, ServerConfig(
+            port=0, workers=1, queue_depth=1,
+            tenant_rate=0.0), out=io.StringIO())
+        host, port = instance.start()
+        try:
+            async def drive():
+                return await asyncio.gather(*[
+                    fetch(host, port, "GET",
+                          "/query?xpath=//employee//name"
+                          f"&tenant=t{i}")
+                    for i in range(12)])
+
+            responses = run(drive())
+            statuses = sorted(r.status for r in responses)
+            assert 200 in statuses
+            assert 429 in statuses, statuses
+            shed = [r.json() for r in responses if r.status == 429]
+            assert all(s["reason"] == "saturated" for s in shed)
+        finally:
+            instance.stop()
+        assert instance.admission.snapshot()["inflight"] == 0
+
+
+class TestDeadlines:
+    def test_deadline_cancels_mid_stream_and_releases_slot(self):
+        database = Database.from_document(
+            personnel_document(target_nodes=4000, seed=42))
+        instance = QueryServer(database, ServerConfig(
+            port=0, workers=2, queue_depth=2,
+            tenant_rate=0.0), out=io.StringIO())
+        host, port = instance.start()
+        try:
+            # measure an uncancelled baseline, then set a deadline
+            # well inside it so cancellation strikes mid-execution
+            baseline = run(fetch(
+                host, port, "GET", "/query?xpath=//employee//name"))
+            assert baseline.status == 200
+            seconds = baseline.json()["seconds"]
+            deadline_ms = max(0.05, seconds * 1e3 / 20.0)
+
+            slo_before = run(fetch(host, port, "GET", "/slo")).json()
+            response = run(fetch(
+                host, port, "GET",
+                f"/query?xpath=//employee//name"
+                f"&timeout_ms={deadline_ms:g}"))
+            assert response.status == 504
+            payload = response.json()
+            assert payload["cancelled"] is True
+            assert payload["error"] == "deadline exceeded"
+
+            # the worker slot came back and the error burnt budget
+            health = run(fetch(host, port, "GET", "/healthz")).json()
+            assert health["inflight"] == 0
+            slo_after = run(fetch(host, port, "GET", "/slo")).json()
+
+            def bad(snapshot):
+                return {entry["name"]: entry["bad"]
+                        for entry in snapshot["objectives"]}
+
+            assert (bad(slo_after)["query_errors"]
+                    > bad(slo_before)["query_errors"])
+            metrics = run(fetch(host, port, "GET", "/metrics")).text()
+            assert "repro_http_cancelled_total" in metrics
+        finally:
+            instance.stop()
+
+    def test_streamed_deadline_reports_in_band(self):
+        database = Database.from_document(
+            personnel_document(target_nodes=4000, seed=42))
+        instance = QueryServer(database, ServerConfig(
+            port=0, workers=2, queue_depth=2,
+            tenant_rate=0.0), out=io.StringIO())
+        host, port = instance.start()
+        try:
+            async def drive():
+                client = HttpClient(host, port)
+                try:
+                    head, body = await client.stream(
+                        "GET", "/query?xpath=//employee//name"
+                               "&stream=1&timeout_ms=0.01")
+                    buffer = b""
+                    async for chunk in body:
+                        buffer += chunk
+                    return head, buffer
+                finally:
+                    await client.close()
+
+            head, buffer = run(drive())
+            lines = [json.loads(line) for line
+                     in buffer.decode().splitlines() if line]
+            summary = lines[-1]
+            assert summary["cancelled"] is True or head.status == 504
+            health = run(fetch(host, port, "GET", "/healthz")).json()
+            assert health["inflight"] == 0
+        finally:
+            instance.stop()
+
+
+class TestShardedServing:
+    def test_sharded_stream_matches_and_stitches_traces(self):
+        from repro.shard.sharded import ShardedDatabase
+
+        document = personnel_document(target_nodes=1500, seed=42)
+        single = Database.from_document(document)
+        expected = single.query("//employee//name")
+        with ShardedDatabase(document, shards=2) as database:
+            instance = QueryServer(database, ServerConfig(
+                port=0, tenant_rate=0.0), out=io.StringIO())
+            host, port = instance.start()
+            try:
+                response = run(fetch(
+                    host, port, "GET",
+                    "/query?xpath=//employee//name",
+                    headers={"X-Trace-Id": "shard-req-1"}))
+                assert response.status == 200
+                payload = response.json()
+                assert payload["rows"] == len(expected)
+                traces = run(fetch(host, port, "GET",
+                                   "/traces")).json()
+                stitched = [trace for trace in traces["traces"]
+                            if trace["trace_id"] == "shard-req-1"]
+                assert stitched
+                rendered = json.dumps(stitched[0])
+                assert "ShardScatterGather" in rendered
+            finally:
+                instance.stop()
+
+
+class TestServerLifecycle:
+    def test_port_in_use_raises_bind_error(self):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        taken = blocker.getsockname()[1]
+        try:
+            database = Database.from_document(
+                personnel_document(target_nodes=200, seed=42))
+            instance = QueryServer(database,
+                                   ServerConfig(port=taken),
+                                   out=io.StringIO())
+            with pytest.raises(OSError):
+                instance.start()
+            assert instance.exit_code == 2
+        finally:
+            blocker.close()
+
+    def test_stop_drains_and_reports(self):
+        out = io.StringIO()
+        database = Database.from_document(
+            personnel_document(target_nodes=200, seed=42))
+        instance = QueryServer(database, ServerConfig(port=0),
+                               out=out)
+        host, port = instance.start()
+        assert run(fetch(host, port, "GET",
+                         "/query?xpath=//employee")).status == 200
+        instance.stop()
+        assert instance.exit_code == 0
+        text = out.getvalue()
+        assert "serving /query" in text
+        assert "draining" in text
+        assert "drained: " in text
+
+    def test_sigterm_drains_with_exit_zero(self, tmp_path):
+        """The satellite: kill -TERM stops accepting, finishes
+        in-flight work, flushes the query log, exits 0."""
+        log_path = tmp_path / "served.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env["PYTHONUNBUFFERED"] = "1"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--dataset", "pers", "--nodes", "400", "--port", "0",
+             "--query-log", str(log_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True, cwd=os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))))
+        try:
+            line = proc.stdout.readline()
+            assert "http://" in line, (line, proc.stderr.read())
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            run(fetch("127.0.0.1", port, "GET",
+                      "/query?xpath=//employee"))
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=20)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, (out, err)
+        assert "SIGTERM: draining" in out
+        assert "drained:" in out
+        assert "query log flushed" in out
+
+
+class TestShardedTimeToFirst:
+    def test_time_to_first_is_before_total(self):
+        from repro.shard.sharded import ShardedDatabase
+
+        document = personnel_document(target_nodes=1500, seed=42)
+        with ShardedDatabase(document, shards=2) as database:
+            timing = database.time_to_first("//employee//name",
+                                            algorithm="FP")
+            assert timing.first_count == 1
+            assert 0.0 < timing.first_seconds
+            assert timing.first_seconds <= timing.total_seconds
+            assert timing.total_count > 1
